@@ -1,0 +1,101 @@
+// Command consequence-bench regenerates the evaluation figures of
+// "High-Performance Determinism with Total Store Order Consistency"
+// (EuroSys 2015) on the deterministic simulation host.
+//
+// Usage:
+//
+//	consequence-bench -fig 10            # one figure
+//	consequence-bench -fig all           # figures 10–16
+//	consequence-bench -fig 11 -threads 2,4,8,16,32 -scale 2
+//
+// Every table is a deterministic function of the flags: rerunning prints
+// byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 10..16, 'all', or 'none'")
+	table := flag.String("table", "", "supplementary table: polling | chunklimit | pagesize | lrc | all")
+	threads := flag.String("threads", "2,4,8,16,32", "comma-separated thread counts for sweeps")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	seed := flag.Int64("seed", 42, "input seed")
+	minPages := flag.Int64("fig16-min-pages", 500, "figure 16 qualification cutoff (TSO pages propagated)")
+	flag.Parse()
+
+	var ths []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -threads element %q", part))
+		}
+		ths = append(ths, n)
+	}
+	s := harness.Sweep{Threads: ths, Scale: *scale, Seed: *seed}
+
+	figs := []string{"10", "11", "12", "13", "14", "15", "16"}
+	switch *fig {
+	case "all":
+	case "none":
+		figs = nil
+	default:
+		figs = []string{*fig}
+	}
+	for _, f := range figs {
+		var text string
+		var err error
+		switch f {
+		case "10":
+			_, text, err = harness.Fig10(s)
+		case "11":
+			_, text, err = harness.Fig11(s)
+		case "12":
+			_, text, err = harness.Fig12(s)
+		case "13":
+			_, text, err = harness.Fig13(s)
+		case "14":
+			_, text, err = harness.Fig14(s)
+		case "15":
+			_, text, err = harness.Fig15(s)
+		case "16":
+			_, text, err = harness.Fig16(s, *minPages)
+		default:
+			err = fmt.Errorf("unknown figure %q (want 10..16 or all)", f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	}
+
+	if *table != "" {
+		names := []string{"polling", "chunklimit", "pagesize", "lrc"}
+		if *table != "all" {
+			names = []string{*table}
+		}
+		for _, name := range names {
+			gen, ok := harness.Tables[name]
+			if !ok {
+				fatal(fmt.Errorf("unknown table %q", name))
+			}
+			_, text, err := gen(s)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(text)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "consequence-bench:", err)
+	os.Exit(1)
+}

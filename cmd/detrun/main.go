@@ -1,0 +1,227 @@
+// Command detrun runs one benchmark program under a chosen runtime and
+// reports its final-memory checksum, sync-order trace hash, and run
+// statistics. With -verify it executes the program repeatedly (and, for
+// the Consequence runtimes, also on a schedule-perturbed real host) and
+// checks that every run agrees — a direct demonstration of the
+// determinism guarantee.
+//
+// Usage:
+//
+//	detrun -bench ferret -runtime consequence-ic -threads 8
+//	detrun -bench canneal -runtime dthreads -verify
+//	detrun -bench histogram -runtime pthreads       # nondeterministic ref
+//	detrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/baseline/dthreads"
+	"repro/internal/baseline/dwc"
+	"repro/internal/baseline/pth"
+	"repro/internal/baseline/rfdet"
+	"repro/internal/clock"
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/harness"
+	"repro/internal/host"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "histogram", "benchmark name (see -list)")
+	rtName := flag.String("runtime", "consequence-ic", "consequence-ic | consequence-rr | dthreads | dwc | pthreads | rfdet-lrc")
+	threads := flag.Int("threads", 4, "thread count")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	seed := flag.Int64("seed", 42, "input seed")
+	verify := flag.Bool("verify", false, "run repeatedly (sim + perturbed real host) and check determinism")
+	compare := flag.Bool("compare", false, "run the benchmark on every runtime and tabulate")
+	useReal := flag.Bool("real", false, "run on the real (goroutine) host instead of the simulator")
+	dumpTrace := flag.Int("trace", 0, "dump the first N sync-order events")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-18s %-8s %s\n", s.Name, s.Suite, s.Class)
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	p := workload.Params{Threads: *threads, Scale: *scale, Seed: *seed}
+
+	if *verify {
+		runVerify(spec, p, *rtName)
+		return
+	}
+	if *compare {
+		runCompare(spec, p)
+		return
+	}
+
+	h := mkHost(*useReal, 0)
+	rt, err := mkRuntime(*rtName, spec.SegmentSize(p), h)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if err := rt.Run(spec.Prog(p)); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := rt.Stats()
+	fmt.Printf("benchmark   %s (%s, %s)\n", spec.Name, spec.Suite, spec.Class)
+	fmt.Printf("runtime     %s, %d threads, scale %d, seed %d\n", rt.Name(), *threads, *scale, *seed)
+	fmt.Printf("checksum    %016x\n", rt.Checksum())
+	if tr := traceOf(rt); tr != nil {
+		fmt.Printf("trace       %d events, hash %016x\n", tr.Len(), tr.Hash())
+	}
+	if h.Timed() {
+		fmt.Printf("virtual     %.3f ms\n", float64(st.WallNS)/1e6)
+	}
+	fmt.Printf("host        %.3f ms\n", float64(elapsed.Nanoseconds())/1e6)
+	fmt.Printf("sync ops    %d (%d coarsened), token grants %d\n", st.SyncOps, st.CoarsenedOps, st.TokenGrants)
+	fmt.Printf("memory      %d versions, %d pages committed (%d merged), %d pulled, %d faults, peak %d pages\n",
+		st.Versions, st.CommittedPages, st.MergedPages, st.PulledPages, st.Faults, st.PeakPages)
+	if tr := traceOf(rt); tr != nil && *dumpTrace > 0 {
+		evs := tr.Events()
+		if len(evs) > *dumpTrace {
+			evs = evs[:*dumpTrace]
+		}
+		for _, e := range evs {
+			fmt.Println("  ", e)
+		}
+	}
+}
+
+// runVerify demonstrates determinism: repeated sim runs and (for det
+// runtimes) perturbed real-host runs must agree bit-for-bit.
+func runVerify(spec workload.Spec, p workload.Params, rtName string) {
+	type obs struct {
+		label string
+		sum   uint64
+		thash uint64
+	}
+	var all []obs
+	run := func(label string, h host.Host) {
+		rt, err := mkRuntime(rtName, spec.SegmentSize(p), h)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rt.Run(spec.Prog(p)); err != nil {
+			fatal(err)
+		}
+		o := obs{label: label, sum: rt.Checksum()}
+		if tr := traceOf(rt); tr != nil {
+			o.thash = tr.Hash()
+		}
+		all = append(all, o)
+		fmt.Printf("  %-22s checksum=%016x trace=%016x\n", label, o.sum, o.thash)
+	}
+	fmt.Printf("verifying %s on %s (%d threads):\n", spec.Name, rtName, p.Threads)
+	run("sim #1", simhost.New(costmodel.Default()))
+	run("sim #2", simhost.New(costmodel.Default()))
+	if rtName != string(harness.KindPthreads) {
+		run("real perturbed #1", realhost.New(200*time.Microsecond, 1))
+		run("real perturbed #2", realhost.New(200*time.Microsecond, 99))
+	}
+	base := all[0]
+	ok := true
+	for _, o := range all[1:] {
+		if o.sum != base.sum || o.thash != base.thash {
+			ok = false
+			fmt.Printf("MISMATCH: %s differs from %s\n", o.label, base.label)
+		}
+	}
+	if ok {
+		fmt.Println("deterministic: all runs agree")
+		return
+	}
+	if rtName == string(harness.KindPthreads) {
+		fmt.Println("(expected: pthreads is the nondeterministic baseline)")
+		return
+	}
+	os.Exit(1)
+}
+
+// runCompare tabulates one benchmark across all runtimes on the
+// simulation host.
+func runCompare(spec workload.Spec, p workload.Params) {
+	fmt.Printf("%s (%s), %d threads, scale %d — simulated runtimes:\n\n",
+		spec.Name, spec.Suite, p.Threads, p.Scale)
+	fmt.Printf("%-16s %10s %10s %10s %12s %10s\n", "runtime", "wall(ms)", "syncOps", "grants", "pagesCommit", "peakPages")
+	var pthWall int64
+	for _, name := range []string{"pthreads", "consequence-ic", "consequence-rr", "dwc", "dthreads", "rfdet-lrc"} {
+		rt, err := mkRuntime(name, spec.SegmentSize(p), simhost.New(costmodel.Default()))
+		if err != nil {
+			fatal(err)
+		}
+		if err := rt.Run(spec.Prog(p)); err != nil {
+			fatal(err)
+		}
+		st := rt.Stats()
+		norm := ""
+		if name == "pthreads" {
+			pthWall = st.WallNS
+		} else if pthWall > 0 {
+			norm = fmt.Sprintf("  (%.2fx)", float64(st.WallNS)/float64(pthWall))
+		}
+		fmt.Printf("%-16s %10.2f %10d %10d %12d %10d%s\n",
+			name, float64(st.WallNS)/1e6, st.SyncOps, st.TokenGrants, st.CommittedPages, st.PeakPages, norm)
+	}
+}
+
+func mkHost(real bool, perturb time.Duration) host.Host {
+	if real {
+		return realhost.New(perturb, 0)
+	}
+	return simhost.New(costmodel.Default())
+}
+
+func mkRuntime(name string, segSize int, h host.Host) (api.Runtime, error) {
+	m := costmodel.Default()
+	switch name {
+	case "consequence-ic", "consequence-rr":
+		c := det.Default()
+		if name == "consequence-rr" {
+			c.Policy = clock.PolicyRR
+		}
+		c.SegmentSize = segSize
+		c.Model = m
+		return det.New(c, h)
+	case "dthreads":
+		return dthreads.New(dthreads.Config{SegmentSize: segSize, Model: m}, h)
+	case "dwc":
+		return dwc.New(dwc.Config{SegmentSize: segSize, Model: m}, h)
+	case "pthreads":
+		return pth.New(pth.Config{SegmentSize: segSize, Model: m}, h)
+	case "rfdet-lrc":
+		return rfdet.New(rfdet.Config{SegmentSize: segSize, Model: m}, h)
+	}
+	return nil, fmt.Errorf("unknown runtime %q", name)
+}
+
+// traceOf extracts the trace recorder from runtimes that keep one.
+func traceOf(rt api.Runtime) *trace.Recorder {
+	type tracer interface{ Trace() *trace.Recorder }
+	if t, ok := rt.(tracer); ok {
+		return t.Trace()
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "detrun:", err)
+	os.Exit(1)
+}

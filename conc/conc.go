@@ -1,0 +1,326 @@
+// Package conc is a toolkit of higher-level deterministic concurrency
+// primitives built from the runtime's mutexes and condition variables:
+// bounded queues, wait groups, semaphores, once-cells and reader–writer
+// locks. Everything is runtime-neutral (it works against any api.T — the
+// Consequence runtimes, the baselines, the pthreads model) and keeps its
+// state in the shared segment, so behaviour under a deterministic runtime
+// is deterministic like any other program state.
+//
+// Primitives store their state at caller-chosen byte offsets; each type's
+// Bytes constant/function says how much space it needs. Keeping layout in
+// the caller's hands mirrors how the underlying segment works and keeps
+// the package allocation-free.
+package conc
+
+import "repro/internal/api"
+
+// Queue is a bounded multi-producer multi-consumer FIFO of uint64 values,
+// the pipeline idiom of dedup and ferret. Layout at base: head u64,
+// tail u64, producersLeft u64, ring[capacity]u64.
+type Queue struct {
+	m        api.Mutex
+	notEmpty api.Cond
+	notFull  api.Cond
+	base     int
+	capacity int
+}
+
+// QueueBytes returns the shared-memory footprint of a queue with the
+// given capacity.
+func QueueBytes(capacity int) int { return 24 + 8*capacity }
+
+// NewQueue creates a queue at the given base offset. producers is the
+// number of ProducerDone calls after which a drained queue reports
+// closed to Get.
+func NewQueue(t api.T, base, capacity, producers int) *Queue {
+	if capacity < 1 {
+		panic("conc: queue capacity must be at least 1")
+	}
+	q := &Queue{
+		m:        t.NewMutex(),
+		notEmpty: t.NewCond(),
+		notFull:  t.NewCond(),
+		base:     base,
+		capacity: capacity,
+	}
+	api.PutU64(t, base, 0)
+	api.PutU64(t, base+8, 0)
+	api.PutU64(t, base+16, uint64(producers))
+	return q
+}
+
+// Put enqueues v, blocking while the queue is full.
+func (q *Queue) Put(t api.T, v uint64) {
+	t.Lock(q.m)
+	for api.U64(t, q.base+8)-api.U64(t, q.base) == uint64(q.capacity) {
+		t.Wait(q.notFull, q.m)
+	}
+	tail := api.U64(t, q.base+8)
+	api.PutU64(t, q.base+24+8*int(tail%uint64(q.capacity)), v)
+	api.PutU64(t, q.base+8, tail+1)
+	t.Signal(q.notEmpty)
+	t.Unlock(q.m)
+}
+
+// Get dequeues one value; ok=false means every producer has finished and
+// the queue is drained.
+func (q *Queue) Get(t api.T) (v uint64, ok bool) {
+	t.Lock(q.m)
+	for {
+		head, tail := api.U64(t, q.base), api.U64(t, q.base+8)
+		if head != tail {
+			v = api.U64(t, q.base+24+8*int(head%uint64(q.capacity)))
+			api.PutU64(t, q.base, head+1)
+			t.Signal(q.notFull)
+			t.Unlock(q.m)
+			return v, true
+		}
+		if api.U64(t, q.base+16) == 0 {
+			t.Unlock(q.m)
+			return 0, false
+		}
+		t.Wait(q.notEmpty, q.m)
+	}
+}
+
+// ProducerDone retires one producer, waking consumers blocked on an empty
+// queue so they can observe completion.
+func (q *Queue) ProducerDone(t api.T) {
+	t.Lock(q.m)
+	left := api.U64(t, q.base+16)
+	if left == 0 {
+		t.Unlock(q.m)
+		panic("conc: ProducerDone called more times than producers")
+	}
+	api.PutU64(t, q.base+16, left-1)
+	if left == 1 {
+		t.Broadcast(q.notEmpty)
+	}
+	t.Unlock(q.m)
+}
+
+// Close force-closes the queue regardless of outstanding producers;
+// drained Gets return ok=false afterwards.
+func (q *Queue) Close(t api.T) {
+	t.Lock(q.m)
+	api.PutU64(t, q.base+16, 0)
+	t.Broadcast(q.notEmpty)
+	t.Unlock(q.m)
+}
+
+// Len reports the current queue length (racy unless externally
+// synchronized, like len() on a Go channel).
+func (q *Queue) Len(t api.T) int {
+	t.Lock(q.m)
+	n := int(api.U64(t, q.base+8) - api.U64(t, q.base))
+	t.Unlock(q.m)
+	return n
+}
+
+// WaitGroup counts outstanding work in shared memory. Layout at base:
+// count u64.
+type WaitGroup struct {
+	m    api.Mutex
+	zero api.Cond
+	base int
+}
+
+// WaitGroupBytes is the shared-memory footprint of a WaitGroup.
+const WaitGroupBytes = 8
+
+// NewWaitGroup creates a wait group at base with an initial count.
+func NewWaitGroup(t api.T, base int, initial int) *WaitGroup {
+	wg := &WaitGroup{m: t.NewMutex(), zero: t.NewCond(), base: base}
+	api.PutU64(t, base, uint64(initial))
+	return wg
+}
+
+// Add adjusts the count by n (may be negative).
+func (wg *WaitGroup) Add(t api.T, n int) {
+	t.Lock(wg.m)
+	c := int64(api.U64(t, wg.base)) + int64(n)
+	if c < 0 {
+		t.Unlock(wg.m)
+		panic("conc: negative WaitGroup count")
+	}
+	api.PutU64(t, wg.base, uint64(c))
+	if c == 0 {
+		t.Broadcast(wg.zero)
+	}
+	t.Unlock(wg.m)
+}
+
+// Done decrements the count by one.
+func (wg *WaitGroup) Done(t api.T) { wg.Add(t, -1) }
+
+// Wait blocks until the count reaches zero.
+func (wg *WaitGroup) Wait(t api.T) {
+	t.Lock(wg.m)
+	for api.U64(t, wg.base) != 0 {
+		t.Wait(wg.zero, wg.m)
+	}
+	t.Unlock(wg.m)
+}
+
+// Semaphore is a counting semaphore. Layout at base: permits u64.
+type Semaphore struct {
+	m    api.Mutex
+	free api.Cond
+	base int
+}
+
+// SemaphoreBytes is the shared-memory footprint of a Semaphore.
+const SemaphoreBytes = 8
+
+// NewSemaphore creates a semaphore at base with the given permits.
+func NewSemaphore(t api.T, base int, permits int) *Semaphore {
+	s := &Semaphore{m: t.NewMutex(), free: t.NewCond(), base: base}
+	api.PutU64(t, base, uint64(permits))
+	return s
+}
+
+// Acquire takes one permit, blocking while none are free.
+func (s *Semaphore) Acquire(t api.T) {
+	t.Lock(s.m)
+	for api.U64(t, s.base) == 0 {
+		t.Wait(s.free, s.m)
+	}
+	api.PutU64(t, s.base, api.U64(t, s.base)-1)
+	t.Unlock(s.m)
+}
+
+// TryAcquire takes a permit if one is free, without blocking.
+func (s *Semaphore) TryAcquire(t api.T) bool {
+	t.Lock(s.m)
+	defer t.Unlock(s.m)
+	if api.U64(t, s.base) == 0 {
+		return false
+	}
+	api.PutU64(t, s.base, api.U64(t, s.base)-1)
+	return true
+}
+
+// Release returns one permit.
+func (s *Semaphore) Release(t api.T) {
+	t.Lock(s.m)
+	api.PutU64(t, s.base, api.U64(t, s.base)+1)
+	t.Signal(s.free)
+	t.Unlock(s.m)
+}
+
+// Once runs a function exactly once across all threads. Layout at base:
+// state u64 (0 new, 1 running, 2 done).
+type Once struct {
+	m    api.Mutex
+	done api.Cond
+	base int
+}
+
+// OnceBytes is the shared-memory footprint of a Once.
+const OnceBytes = 8
+
+// NewOnce creates a once-cell at base.
+func NewOnce(t api.T, base int) *Once {
+	o := &Once{m: t.NewMutex(), done: t.NewCond(), base: base}
+	api.PutU64(t, base, 0)
+	return o
+}
+
+// Do runs fn if no thread has yet; other callers block until the first
+// completes (sync.Once semantics). Which thread runs fn is deterministic
+// under a deterministic runtime.
+func (o *Once) Do(t api.T, fn func(api.T)) {
+	t.Lock(o.m)
+	switch api.U64(t, o.base) {
+	case 0:
+		api.PutU64(t, o.base, 1)
+		t.Unlock(o.m)
+		fn(t)
+		t.Lock(o.m)
+		api.PutU64(t, o.base, 2)
+		t.Broadcast(o.done)
+		t.Unlock(o.m)
+	case 1:
+		for api.U64(t, o.base) != 2 {
+			t.Wait(o.done, o.m)
+		}
+		t.Unlock(o.m)
+	default:
+		t.Unlock(o.m)
+	}
+}
+
+// RWMutex is a writer-preferring readers–writer lock. Layout at base:
+// readers u64, writerActive u64, writersWaiting u64.
+type RWMutex struct {
+	m       api.Mutex
+	canRead api.Cond
+	canWrit api.Cond
+	base    int
+}
+
+// RWMutexBytes is the shared-memory footprint of an RWMutex.
+const RWMutexBytes = 24
+
+// NewRWMutex creates a readers–writer lock at base.
+func NewRWMutex(t api.T, base int) *RWMutex {
+	rw := &RWMutex{m: t.NewMutex(), canRead: t.NewCond(), canWrit: t.NewCond(), base: base}
+	for i := 0; i < RWMutexBytes; i += 8 {
+		api.PutU64(t, base+i, 0)
+	}
+	return rw
+}
+
+// RLock acquires a shared (read) lock.
+func (rw *RWMutex) RLock(t api.T) {
+	t.Lock(rw.m)
+	for api.U64(t, rw.base+8) != 0 || api.U64(t, rw.base+16) != 0 {
+		t.Wait(rw.canRead, rw.m)
+	}
+	api.PutU64(t, rw.base, api.U64(t, rw.base)+1)
+	t.Unlock(rw.m)
+}
+
+// RUnlock releases a shared lock.
+func (rw *RWMutex) RUnlock(t api.T) {
+	t.Lock(rw.m)
+	r := api.U64(t, rw.base)
+	if r == 0 {
+		t.Unlock(rw.m)
+		panic("conc: RUnlock without RLock")
+	}
+	api.PutU64(t, rw.base, r-1)
+	if r == 1 {
+		t.Signal(rw.canWrit)
+	}
+	t.Unlock(rw.m)
+}
+
+// Lock acquires the exclusive (write) lock; waiting writers block new
+// readers (writer preference).
+func (rw *RWMutex) Lock(t api.T) {
+	t.Lock(rw.m)
+	api.PutU64(t, rw.base+16, api.U64(t, rw.base+16)+1)
+	for api.U64(t, rw.base) != 0 || api.U64(t, rw.base+8) != 0 {
+		t.Wait(rw.canWrit, rw.m)
+	}
+	api.PutU64(t, rw.base+16, api.U64(t, rw.base+16)-1)
+	api.PutU64(t, rw.base+8, 1)
+	t.Unlock(rw.m)
+}
+
+// Unlock releases the exclusive lock.
+func (rw *RWMutex) Unlock(t api.T) {
+	t.Lock(rw.m)
+	if api.U64(t, rw.base+8) == 0 {
+		t.Unlock(rw.m)
+		panic("conc: Unlock without Lock")
+	}
+	api.PutU64(t, rw.base+8, 0)
+	if api.U64(t, rw.base+16) != 0 {
+		t.Signal(rw.canWrit)
+	} else {
+		t.Broadcast(rw.canRead)
+	}
+	t.Unlock(rw.m)
+}

@@ -1,0 +1,185 @@
+package consequence_test
+
+import (
+	"testing"
+	"time"
+
+	consequence "repro"
+	"repro/internal/det"
+)
+
+func TestPublicAPICounter(t *testing.T) {
+	rt, err := consequence.New(consequence.WithSegmentSize(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final uint64
+	err = rt.Run(func(root consequence.T) {
+		m := root.NewMutex()
+		var hs []consequence.Handle
+		for i := 0; i < 4; i++ {
+			hs = append(hs, root.Spawn(func(w consequence.T) {
+				for j := 0; j < 50; j++ {
+					w.Lock(m)
+					consequence.AddU64(w, 0, 1)
+					w.Unlock(m)
+				}
+			}))
+		}
+		for _, h := range hs {
+			root.Join(h)
+		}
+		final = consequence.U64(root, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 200 {
+		t.Fatalf("counter = %d, want 200", final)
+	}
+}
+
+func TestPublicAPIDeterminismUnderPerturbation(t *testing.T) {
+	prog := func(root consequence.T) {
+		m := root.NewMutex()
+		var hs []consequence.Handle
+		for i := 0; i < 3; i++ {
+			i := i
+			hs = append(hs, root.Spawn(func(w consequence.T) {
+				for j := 0; j < 30; j++ {
+					w.Compute(int64(100 * (i + 1)))
+					// Racy write: deterministic anyway.
+					consequence.PutU64(w, 8, uint64(i*100+j))
+					w.Lock(m)
+					consequence.AddU64(w, 0, 1)
+					w.Unlock(m)
+				}
+			}))
+		}
+		for _, h := range hs {
+			root.Join(h)
+		}
+	}
+	var sums, traces []uint64
+	for rep := 0; rep < 3; rep++ {
+		rt, err := consequence.New(
+			consequence.WithSegmentSize(1<<20),
+			consequence.WithPerturbation(150*time.Microsecond, int64(rep*31)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, rt.Checksum())
+		traces = append(traces, rt.TraceHash())
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i] != sums[0] || traces[i] != traces[0] {
+			t.Fatalf("run %d diverged: sum %x vs %x, trace %x vs %x",
+				i, sums[i], sums[0], traces[i], traces[0])
+		}
+	}
+}
+
+func TestPublicAPISimulatedTime(t *testing.T) {
+	rt, err := consequence.New(
+		consequence.WithSegmentSize(1<<20),
+		consequence.WithSimulatedTime(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(root consequence.T) {
+		root.Compute(1_000_000)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().WallNS <= 0 {
+		t.Fatal("simulated time did not advance")
+	}
+}
+
+func TestPublicAPISimulationRejectsPerturbation(t *testing.T) {
+	_, err := consequence.New(
+		consequence.WithSimulatedTime(),
+		consequence.WithPerturbation(time.Millisecond, 1),
+	)
+	if err == nil {
+		t.Fatal("perturbation + simulation accepted")
+	}
+}
+
+func TestPublicAPIOrderingRR(t *testing.T) {
+	rt, err := consequence.New(
+		consequence.WithSegmentSize(1<<20),
+		consequence.WithOrdering(consequence.OrderingRR),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(root consequence.T) {
+		m := root.NewMutex()
+		h := root.Spawn(func(w consequence.T) {
+			w.Lock(m)
+			consequence.AddU64(w, 0, 5)
+			w.Unlock(m)
+		})
+		root.Join(h)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIChunkLimitBreaksSpin(t *testing.T) {
+	rt, err := consequence.New(
+		consequence.WithSegmentSize(1<<20),
+		consequence.WithSimulatedTime(),
+		consequence.WithChunkLimit(20_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	if err := rt.Run(func(root consequence.T) {
+		h := root.Spawn(func(w consequence.T) {
+			w.Compute(5_000)
+			consequence.PutU64(w, 0, 1)
+		})
+		for i := 0; i < 2000 && consequence.U64(root, 0) == 0; i++ {
+			root.Compute(100)
+		}
+		saw = consequence.U64(root, 0) == 1
+		root.Join(h)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !saw {
+		t.Fatal("ad-hoc spin never observed the flag despite chunk limit")
+	}
+}
+
+func TestPublicAPIDetConfigEscapeHatch(t *testing.T) {
+	rt, err := consequence.New(
+		consequence.WithSegmentSize(1<<20),
+		consequence.WithSimulatedTime(),
+		consequence.WithDetConfig(func(c *det.Config) { c.StaticLevel = 4 }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(root consequence.T) {
+		m := root.NewMutex()
+		for i := 0; i < 20; i++ {
+			root.Lock(m)
+			consequence.AddU64(root, 0, 1)
+			root.Unlock(m)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().CoarsenedOps == 0 {
+		t.Fatal("static coarsening config not applied")
+	}
+}

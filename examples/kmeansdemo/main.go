@@ -1,0 +1,144 @@
+// Kmeansdemo: iterative fork-join clustering in the style of Phoenix
+// kmeans — the workload class that motivates the paper's thread-reuse
+// optimization (§3.3). Each iteration spawns fresh workers; with the
+// thread pool enabled later spawns recycle earlier workers' memory views.
+// The demo runs on the simulated-time host to show the optimization's
+// modeled effect, then once on the real host to show the clustering
+// itself is deterministic.
+package main
+
+import (
+	"fmt"
+
+	consequence "repro"
+)
+
+const (
+	points   = 2000
+	k        = 4
+	dims     = 2
+	iters    = 6
+	workers  = 4
+	centOff  = 0    // k centroids × dims × 8 bytes
+	sumsOff  = 4096 // per-worker partial sums, one page each
+	pointOff = 65536
+)
+
+func program(t consequence.T) {
+	// Deterministic input points.
+	for i := 0; i < points; i++ {
+		consequence.PutU64(t, pointOff+16*i, uint64((i*37)%100))
+		consequence.PutU64(t, pointOff+16*i+8, uint64((i*61)%100))
+	}
+	// Initial centroids.
+	for c := 0; c < k; c++ {
+		consequence.PutU64(t, centOff+16*c, uint64(c*25))
+		consequence.PutU64(t, centOff+16*c+8, uint64(c*25))
+	}
+	for it := 0; it < iters; it++ {
+		var hs []consequence.Handle
+		for w := 0; w < workers; w++ {
+			w := w
+			hs = append(hs, t.Spawn(func(t consequence.T) {
+				// Assign this worker's point range to nearest centroids.
+				var cx, cy, cn [k]uint64
+				lo, hi := w*points/workers, (w+1)*points/workers
+				for i := lo; i < hi; i++ {
+					x := consequence.U64(t, pointOff+16*i)
+					y := consequence.U64(t, pointOff+16*i+8)
+					best, bestD := 0, ^uint64(0)
+					for c := 0; c < k; c++ {
+						mx := consequence.U64(t, centOff+16*c)
+						my := consequence.U64(t, centOff+16*c+8)
+						d := (x-mx)*(x-mx) + (y-my)*(y-my)
+						if d < bestD {
+							best, bestD = c, d
+						}
+					}
+					t.Compute(int64(k * dims * 4))
+					cx[best] += x
+					cy[best] += y
+					cn[best]++
+				}
+				base := sumsOff + w*4096
+				for c := 0; c < k; c++ {
+					consequence.PutU64(t, base+24*c, cx[c])
+					consequence.PutU64(t, base+24*c+8, cy[c])
+					consequence.PutU64(t, base+24*c+16, cn[c])
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		// Root recomputes centroids from the partial sums.
+		for c := 0; c < k; c++ {
+			var sx, sy, n uint64
+			for w := 0; w < workers; w++ {
+				base := sumsOff + w*4096
+				sx += consequence.U64(t, base+24*c)
+				sy += consequence.U64(t, base+24*c+8)
+				n += consequence.U64(t, base+24*c+16)
+			}
+			if n > 0 {
+				consequence.PutU64(t, centOff+16*c, sx/n)
+				consequence.PutU64(t, centOff+16*c+8, sy/n)
+			}
+		}
+		t.Compute(int64(k * workers * 8))
+	}
+}
+
+func centroids(rt *consequence.Runtime) (out [k][2]uint64, err error) {
+	err = rt.Run(func(t consequence.T) {
+		program(t)
+		for c := 0; c < k; c++ {
+			out[c][0] = consequence.U64(t, centOff+16*c)
+			out[c][1] = consequence.U64(t, centOff+16*c+8)
+		}
+	})
+	return
+}
+
+func main() {
+	// Modeled effect of thread reuse (simulated time).
+	for _, pool := range []bool{true, false} {
+		rt, err := consequence.New(
+			consequence.WithSegmentSize(1<<20),
+			consequence.WithSimulatedTime(),
+			consequence.WithThreadPool(pool),
+		)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := centroids(rt); err != nil {
+			panic(err)
+		}
+		st := rt.Stats()
+		fmt.Printf("thread pool %-5v: %2d/%2d spawns reused, modeled runtime %6.2f ms\n",
+			pool, st.ThreadsReused, st.ThreadsSpawned, float64(st.WallNS)/1e6)
+	}
+
+	// Deterministic clustering on the real host.
+	fmt.Println("\nfinal centroids (real host, twice):")
+	var prev [k][2]uint64
+	for rep := 1; rep <= 2; rep++ {
+		rt, err := consequence.New(consequence.WithSegmentSize(1 << 20))
+		if err != nil {
+			panic(err)
+		}
+		cents, err := centroids(rt)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  run %d: %v\n", rep, cents)
+		if rep == 2 {
+			if cents == prev {
+				fmt.Println("  identical — deterministic ✓")
+			} else {
+				fmt.Println("  DIVERGENCE — this is a bug")
+			}
+		}
+		prev = cents
+	}
+}

@@ -1,0 +1,138 @@
+// Mapreduce: a deterministic map-reduce over a shared corpus, exercising
+// the full repro/conc toolkit — a work Queue feeding mappers, a Once that
+// lazily builds the stop-word table, an RWMutex protecting the shared
+// result table (mappers write, a concurrent reporter reads), and a
+// WaitGroup for completion. The histogram it produces is identical on
+// every run, as is the sequence of in-progress totals the reporter saw.
+package main
+
+import (
+	"fmt"
+
+	consequence "repro"
+	"repro/conc"
+)
+
+const (
+	mappers  = 4
+	chunks   = 48
+	tableOff = 8192  // 26 letter buckets × 8 bytes
+	stopOff  = 12288 // stop-word table built by Once
+	doneOff  = 16384 // completion flag for the reporter
+	snapOff  = 20480 // reporter's snapshots
+)
+
+func program(t consequence.T, snapshots *[]uint64) {
+	work := conc.NewQueue(t, 256, 8, 1)
+	wg := conc.NewWaitGroup(t, 768, mappers)
+	once := conc.NewOnce(t, 776)
+	table := conc.NewRWMutex(t, 800)
+
+	// Mappers: deterministic "documents" derived from the chunk id.
+	for m := 0; m < mappers; m++ {
+		t.Spawn(func(t consequence.T) {
+			for {
+				chunk, ok := work.Get(t)
+				if !ok {
+					break
+				}
+				// Lazily build the stop-word table, exactly once.
+				once.Do(t, func(t consequence.T) {
+					t.Compute(10_000)
+					for i := 0; i < 4; i++ {
+						consequence.PutU64(t, stopOff+8*i, uint64(i*7)%26)
+					}
+				})
+				// "Parse" the chunk: count first letters, skipping stop
+				// letters.
+				t.Compute(20_000)
+				var local [26]uint64
+				for w := 0; w < 16; w++ {
+					letter := (chunk*31 + uint64(w)*17) % 26
+					stopped := false
+					for i := 0; i < 4; i++ {
+						if consequence.U64(t, stopOff+8*i) == letter {
+							stopped = true
+						}
+					}
+					if !stopped {
+						local[letter]++
+					}
+				}
+				// Reduce into the shared table under the write lock.
+				table.Lock(t)
+				for l, n := range local {
+					if n > 0 {
+						consequence.AddU64(t, tableOff+8*l, n)
+					}
+				}
+				table.Unlock(t)
+			}
+			wg.Done(t)
+		})
+	}
+
+	// Reporter: concurrently reads consistent totals under the read lock.
+	reporter := t.Spawn(func(t consequence.T) {
+		snap := 0
+		for consequence.U64(t, doneOff) == 0 {
+			table.RLock(t)
+			var total uint64
+			for l := 0; l < 26; l++ {
+				total += consequence.U64(t, tableOff+8*l)
+			}
+			table.RUnlock(t)
+			consequence.PutU64(t, snapOff+8*snap, total)
+			snap++
+			t.Compute(60_000) // reporting interval
+		}
+		consequence.PutU64(t, snapOff+2040, uint64(snap))
+	})
+
+	// Producer: enqueue the chunks, then wait for the mappers.
+	for c := 0; c < chunks; c++ {
+		work.Put(t, uint64(c))
+	}
+	work.ProducerDone(t)
+	wg.Wait(t)
+	consequence.PutU64(t, doneOff, 1)
+	t.Join(reporter)
+
+	n := consequence.U64(t, snapOff+2040)
+	*snapshots = nil
+	for i := uint64(0); i < n; i++ {
+		*snapshots = append(*snapshots, consequence.U64(t, snapOff+8*int(i)))
+	}
+}
+
+func main() {
+	var prev []uint64
+	var prevSum uint64
+	for rep := 1; rep <= 2; rep++ {
+		rt, err := consequence.New(consequence.WithSegmentSize(1 << 20))
+		if err != nil {
+			panic(err)
+		}
+		var snaps []uint64
+		if err := rt.Run(func(t consequence.T) { program(t, &snaps) }); err != nil {
+			panic(err)
+		}
+		sum := rt.Checksum()
+		fmt.Printf("run %d: %d reporter snapshots %v, checksum %016x\n",
+			rep, len(snaps), snaps, sum)
+		if rep == 2 {
+			same := sum == prevSum && len(snaps) == len(prev)
+			for i := range snaps {
+				if same && snaps[i] != prev[i] {
+					same = false
+				}
+			}
+			if same {
+				fmt.Println("even the reporter's mid-flight observations are identical — deterministic ✓")
+			} else {
+				fmt.Println("DIVERGENCE — this is a bug")
+			}
+		}
+		prev, prevSum = snaps, sum
+	}
+}

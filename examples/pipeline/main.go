@@ -1,0 +1,93 @@
+// Pipeline: a ferret-style pipeline over bounded queues (repro/conc). The
+// interesting nondeterminism in ordinary pipelines is which worker
+// processes which item; under Consequence that assignment — and every
+// derived result — is fixed across runs.
+package main
+
+import (
+	"fmt"
+
+	consequence "repro"
+	"repro/conc"
+)
+
+const (
+	items   = 40
+	workers = 3
+)
+
+// pipeline is the program: a producer, `workers` processing threads, and a
+// collector, chained by two queues. assign records which worker handled
+// each item; sum collects Σ(item²).
+func pipeline(t consequence.T, assign *[items]uint64, sum *uint64) {
+	in := conc.NewQueue(t, 256, 4, 1)
+	out := conc.NewQueue(t, 512, 4, workers)
+	var hs []consequence.Handle
+	for w := 1; w <= workers; w++ {
+		w := w
+		hs = append(hs, t.Spawn(func(t consequence.T) {
+			for {
+				v, ok := in.Get(t)
+				if !ok {
+					break
+				}
+				t.Compute(25_000) // "process" the item
+				consequence.PutU64(t, 4096+8*int(v-1), uint64(w))
+				out.Put(t, v*v)
+			}
+			out.ProducerDone(t)
+		}))
+	}
+	collector := t.Spawn(func(t consequence.T) {
+		var s uint64
+		for {
+			v, ok := out.Get(t)
+			if !ok {
+				break
+			}
+			s += v
+		}
+		consequence.PutU64(t, 8192, s)
+	})
+	for i := 1; i <= items; i++ {
+		t.Compute(500)
+		in.Put(t, uint64(i))
+	}
+	in.ProducerDone(t)
+	for _, h := range hs {
+		t.Join(h)
+	}
+	t.Join(collector)
+	for i := 0; i < items; i++ {
+		assign[i] = consequence.U64(t, 4096+8*i)
+	}
+	*sum = consequence.U64(t, 8192)
+}
+
+func main() {
+	var firstAssign string
+	for rep := 1; rep <= 2; rep++ {
+		rt, err := consequence.New(consequence.WithSegmentSize(1 << 20))
+		if err != nil {
+			panic(err)
+		}
+		var assign [items]uint64
+		var sum uint64
+		if err := rt.Run(func(t consequence.T) { pipeline(t, &assign, &sum) }); err != nil {
+			panic(err)
+		}
+		line := ""
+		for _, w := range assign {
+			line += fmt.Sprint(w)
+		}
+		fmt.Printf("run %d: item→worker %s  Σ(item²)=%d\n", rep, line, sum)
+		switch {
+		case rep == 1:
+			firstAssign = line
+		case line == firstAssign:
+			fmt.Println("work distribution identical across runs — deterministic ✓")
+		default:
+			fmt.Println("DIVERGENCE — this is a bug")
+		}
+	}
+}

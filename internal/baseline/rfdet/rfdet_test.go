@@ -1,0 +1,279 @@
+package rfdet_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/baseline/rfdet"
+	"repro/internal/costmodel"
+	"repro/internal/host"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+)
+
+func newRT(t *testing.T, h host.Host) *rfdet.Runtime {
+	t.Helper()
+	rt, err := rfdet.New(rfdet.Config{SegmentSize: 1 << 20, Model: costmodel.Default()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func counterProg(n, k int) func(api.T) {
+	return func(root api.T) {
+		m := root.NewMutex()
+		var hs []api.Handle
+		for i := 0; i < n; i++ {
+			hs = append(hs, root.Spawn(func(w api.T) {
+				for j := 0; j < k; j++ {
+					w.Compute(500)
+					w.Lock(m)
+					api.AddU64(w, 0, 1)
+					w.Unlock(m)
+				}
+			}))
+		}
+		for _, h := range hs {
+			root.Join(h)
+		}
+		if got := api.U64(root, 0); got != uint64(n*k) {
+			panic(fmt.Sprintf("counter = %d, want %d", got, n*k))
+		}
+	}
+}
+
+func TestCounterCorrectBothHosts(t *testing.T) {
+	for name, h := range map[string]host.Host{
+		"sim":  simhost.New(costmodel.Default()),
+		"real": realhost.New(100*time.Microsecond, 5),
+	} {
+		t.Run(name, func(t *testing.T) {
+			rt := newRT(t, h)
+			if err := rt.Run(counterProg(4, 25)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRunsAndHosts(t *testing.T) {
+	// Includes racy writes: LRC resolves them by happens-before
+	// application order, which is deterministic under the token.
+	prog := func(root api.T) {
+		m := root.NewMutex()
+		var hs []api.Handle
+		for i := 0; i < 3; i++ {
+			i := i
+			hs = append(hs, root.Spawn(func(w api.T) {
+				for j := 0; j < 20; j++ {
+					w.Compute(int64(200 * (i + 1)))
+					api.PutU64(w, 8, uint64(i*100+j)) // racy
+					w.Lock(m)
+					api.AddU64(w, 0, 1)
+					w.Unlock(m)
+				}
+			}))
+		}
+		for _, h := range hs {
+			root.Join(h)
+		}
+	}
+	var sums, traces []uint64
+	run := func(h host.Host) {
+		rt := newRT(t, h)
+		if err := rt.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, rt.Checksum())
+		traces = append(traces, rt.Trace().Hash())
+	}
+	run(simhost.New(costmodel.Default()))
+	run(simhost.New(costmodel.Default()))
+	run(realhost.New(150*time.Microsecond, 3))
+	run(realhost.New(150*time.Microsecond, 71))
+	for i := 1; i < len(sums); i++ {
+		if sums[i] != sums[0] || traces[i] != traces[0] {
+			t.Fatalf("run %d diverged: %x/%x vs %x/%x", i, sums[i], traces[i], sums[0], traces[0])
+		}
+	}
+}
+
+func TestBarrierPropagatesAllToAll(t *testing.T) {
+	const n = 4
+	prog := func(root api.T) {
+		bar := root.NewBarrier(n)
+		worker := func(id int) func(api.T) {
+			return func(w api.T) {
+				for it := 1; it <= 3; it++ {
+					api.PutU64(w, 8*id, uint64(it*10+id))
+					w.BarrierWait(bar)
+					for o := 0; o < n; o++ {
+						if got := api.U64(w, 8*o); got != uint64(it*10+o) {
+							panic(fmt.Sprintf("worker %d iter %d: slot %d = %d", id, it, o, got))
+						}
+					}
+					w.BarrierWait(bar)
+				}
+			}
+		}
+		var hs []api.Handle
+		for i := 1; i < n; i++ {
+			hs = append(hs, root.Spawn(worker(i)))
+		}
+		worker(0)(root)
+		for _, h := range hs {
+			root.Join(h)
+		}
+	}
+	rt := newRT(t, simhost.New(costmodel.Default()))
+	if err := rt.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondVar(t *testing.T) {
+	prog := func(root api.T) {
+		m := root.NewMutex()
+		c := root.NewCond()
+		h := root.Spawn(func(w api.T) {
+			w.Lock(m)
+			for api.U64(w, 0) == 0 {
+				w.Wait(c, m)
+			}
+			api.PutU64(w, 8, api.U64(w, 0)*3)
+			w.Unlock(m)
+		})
+		root.Compute(10_000)
+		root.Lock(m)
+		api.PutU64(root, 0, 14)
+		root.Signal(c)
+		root.Unlock(m)
+		root.Join(h)
+		if got := api.U64(root, 8); got != 42 {
+			panic(fmt.Sprintf("cond result = %d", got))
+		}
+	}
+	rt := newRT(t, simhost.New(costmodel.Default()))
+	if err := rt.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceLeak demonstrates §2.3's criticism: modifications released via
+// a lock nobody ever re-acquires stay pinned for as long as any thread
+// has not happened-after them — here, for the whole lifetime of two
+// churning peers. (Happens-before is transitive, so the leak requires the
+// leaker to stop releasing afterwards; a control run without the leaky
+// write isolates the effect.)
+func TestSpaceLeak(t *testing.T) {
+	run := func(leak bool) int64 {
+		rt := newRT(t, simhost.New(costmodel.Default()))
+		if err := rt.Run(func(root api.T) {
+			leaky := root.NewMutex()
+			busy := root.NewMutex()
+			// The leaker: dump 64 KiB into a lock nobody re-acquires, then
+			// go quiet (pure compute — no further releases).
+			leaker := root.Spawn(func(w api.T) {
+				if leak {
+					buf := make([]byte, 4096)
+					for i := range buf {
+						buf[i] = byte(i)
+					}
+					for pg := 0; pg < 16; pg++ {
+						w.Write(buf, 65536+pg*4096)
+					}
+				}
+				w.Lock(leaky)
+				w.Unlock(leaky)
+				w.Compute(3_000_000)
+			})
+			// Two peers churn the busy lock between themselves; their
+			// mutual traffic is collectible, the leaker's interval is not.
+			var peers []api.Handle
+			for p := 0; p < 2; p++ {
+				p := p
+				peers = append(peers, root.Spawn(func(w api.T) {
+					for i := 0; i < 60; i++ {
+						w.Lock(busy)
+						api.AddU64(w, 8*(1+p), 1)
+						w.Unlock(busy)
+						w.Compute(20_000)
+					}
+				}))
+			}
+			root.Join(leaker)
+			for _, h := range peers {
+				root.Join(h)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rt.PeakRetainedBytes()
+	}
+	leakPeak := run(true)
+	controlPeak := run(false)
+	if leakPeak-controlPeak < 60*1024 {
+		t.Fatalf("leak not visible: peak %d vs control %d", leakPeak, controlPeak)
+	}
+}
+
+// TestPointToPointPropagation: a thread that never synchronizes with the
+// writers' objects never pays for their data — the LRC property TSO lacks.
+func TestPointToPointPropagation(t *testing.T) {
+	run := func(join bool) int64 {
+		rt := newRT(t, simhost.New(costmodel.Default()))
+		if err := rt.Run(func(root api.T) {
+			m := root.NewMutex()
+			writer := root.Spawn(func(w api.T) {
+				buf := make([]byte, 4096)
+				for i := range buf {
+					buf[i] = 7
+				}
+				for pg := 0; pg < 32; pg++ {
+					w.Write(buf, 65536+pg*4096)
+				}
+				w.Lock(m)
+				w.Unlock(m)
+			})
+			bystander := root.Spawn(func(w api.T) {
+				w.Compute(500_000) // no shared sync objects at all
+			})
+			if join {
+				root.Join(writer)
+			} else {
+				// Join in the other order so timing stays comparable.
+				root.Join(writer)
+			}
+			root.Join(bystander)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rt.AppliedBytes()
+	}
+	applied := run(true)
+	// Only the root's join edge pulls the writer's 128 KiB; the bystander
+	// pulls nothing. Under TSO every thread's next update would carry it.
+	if applied < 128*1024 {
+		t.Fatalf("join edge did not propagate: %d", applied)
+	}
+	if applied > 2*128*1024 {
+		t.Fatalf("propagation not point-to-point: %d bytes applied", applied)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rt := newRT(t, simhost.New(costmodel.Default()))
+	if err := rt.Run(counterProg(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.SyncOps == 0 || st.TokenGrants == 0 || st.WallNS == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.ThreadsSpawned != 3 {
+		t.Fatalf("spawned = %d", st.ThreadsSpawned)
+	}
+}

@@ -1,0 +1,502 @@
+package rfdet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/clock"
+	"repro/internal/host"
+	"repro/internal/trace"
+)
+
+// thread is one LRC thread: a private full view of the segment, a write
+// log (the pending interval), and a vector clock of applied intervals.
+type thread struct {
+	rt  *Runtime
+	tid int
+	b   host.Binding
+
+	view         []byte
+	pending      []patch
+	pendingBytes int64
+	vc           vclock
+	relSeq       int64
+
+	icount  int64
+	holding bool
+
+	localWork, determWait, barrierWait, commitNS, libNS int64
+	lastEvent                                           int64
+	syncOps                                             int64
+
+	done    bool
+	joiners []int
+	// barrierVC is set by the releasing barrier arrival before the wake.
+	barrierVC vclock
+	objSeq    uint64
+}
+
+func (t *thread) start(b host.Binding) {
+	t.b = b
+	t.lastEvent = b.Now()
+}
+
+func (t *thread) account(cat *int64) {
+	now := t.b.Now()
+	*cat += now - t.lastEvent
+	t.lastEvent = now
+}
+
+func (t *thread) charge(cat *int64, ns int64) {
+	if ns > 0 {
+		t.b.Charge(ns)
+	}
+	t.account(cat)
+}
+
+func (t *thread) deliver(grant int) {
+	if grant == clock.NoGrant {
+		return
+	}
+	t.rt.deliverFrom(t.b, grant)
+}
+
+// --- token protocol (sync ordering is global, as in Consequence) ---
+
+func (t *thread) acquireToken() {
+	m := &t.rt.cfg.Model
+	t.account(&t.localWork)
+	t.charge(&t.libNS, m.SyscallClockRead)
+	if g := t.rt.arb.Request(t.tid); g != t.tid {
+		t.deliver(g)
+		t.b.Block()
+		t.icount = t.rt.arb.Count(t.tid)
+	}
+	t.holding = true
+	t.account(&t.determWait)
+	t.charge(&t.libNS, m.TokenHandoff)
+}
+
+func (t *thread) releaseToken() {
+	t.holding = false
+	t.icount++
+	t.deliver(t.rt.arb.Release(t.tid))
+}
+
+func (t *thread) blockForToken() {
+	t.b.Block()
+	t.icount = t.rt.arb.Count(t.tid)
+	t.holding = true
+	t.account(&t.determWait)
+	t.charge(&t.libNS, t.rt.cfg.Model.TokenHandoff)
+}
+
+// --- LRC memory ---
+
+// Tid implements api.T.
+func (t *thread) Tid() int { return t.tid }
+
+// Compute implements api.T.
+func (t *thread) Compute(n int64) {
+	if n < 0 {
+		panic("rfdet: negative compute")
+	}
+	t.icount += n
+	t.charge(&t.localWork, t.rt.cfg.Model.Instr(n))
+	t.deliver(t.rt.arb.Advance(t.tid, n))
+}
+
+func memInstr(n int) int64 { return 2 + int64(n+7)/8 }
+
+// Read implements api.T: private view, no coordination.
+func (t *thread) Read(buf []byte, off int) {
+	copy(buf, t.view[off:off+len(buf)])
+	n := memInstr(len(buf))
+	t.icount += n
+	t.charge(&t.localWork, t.rt.cfg.Model.Instr(n))
+	t.deliver(t.rt.arb.Advance(t.tid, n))
+}
+
+// Write implements api.T: apply to the private view and log the store.
+// Every store pays the compiler-instrumentation overhead LRC systems
+// impose (roughly doubling the store's cost).
+func (t *thread) Write(data []byte, off int) {
+	copy(t.view[off:off+len(data)], data)
+	t.pending = append(t.pending, patch{off: off, data: append([]byte(nil), data...)})
+	t.pendingBytes += int64(len(data))
+	n := 2 * memInstr(len(data))
+	t.icount += n
+	t.charge(&t.localWork, t.rt.cfg.Model.Instr(n))
+	t.deliver(t.rt.arb.Advance(t.tid, n))
+}
+
+// releaseInterval publishes the pending write log as this thread's next
+// interval and returns the updated clock component. Token-held. The
+// interval is retained in the global store until every live thread has
+// applied it — or forever, if some never do (the space leak).
+func (t *thread) releaseInterval() {
+	if len(t.pending) == 0 {
+		t.relSeq++ // empty releases still advance the component
+		t.vc[t.tid] = t.relSeq
+		return
+	}
+	m := &t.rt.cfg.Model
+	t.relSeq++
+	t.vc[t.tid] = t.relSeq
+	rt0 := t.rt
+	rt0.gseq++
+	iv := &interval{owner: t.tid, seq: t.relSeq, gseq: rt0.gseq, patches: t.pending, bytes: t.pendingBytes}
+	t.pending = nil
+	t.pendingBytes = 0
+	rt := t.rt
+	rt.intervals[t.tid] = append(rt.intervals[t.tid], iv)
+	rt.retainedBytes += iv.bytes
+	if rt.retainedBytes > rt.peakRetained {
+		rt.peakRetained = rt.retainedBytes
+	}
+	// The release itself is local work: log finalization only.
+	t.charge(&t.commitNS, m.CommitFixed/4+iv.bytes/64*int64(m.InstrNS*8))
+}
+
+// applyUpTo applies, in (owner, seq) order, every interval covered by
+// target that this thread has not yet seen — the acquire side of
+// happens-before propagation. Point-to-point: only this thread pays.
+func (t *thread) applyUpTo(target vclock) {
+	m := &t.rt.cfg.Model
+	var needed []*interval
+	for owner, upto := range target {
+		have := t.vc[owner]
+		if upto <= have || owner == t.tid {
+			continue
+		}
+		for _, iv := range t.rt.intervals[owner] {
+			if iv.seq > have && iv.seq <= upto {
+				needed = append(needed, iv)
+			}
+		}
+	}
+	// Apply in global release order: happens-before is a suborder of the
+	// token order, so causally later writes land last.
+	sort.Slice(needed, func(i, j int) bool { return needed[i].gseq < needed[j].gseq })
+	var applied int64
+	for _, iv := range needed {
+		for _, p := range iv.patches {
+			copy(t.view[p.off:p.off+len(p.data)], p.data)
+		}
+		applied += iv.bytes
+	}
+	t.vc.join(target)
+	if applied > 0 {
+		t.rt.appliedBytes += applied
+		// Per-byte apply cost plus a per-page-equivalent fixed cost.
+		t.charge(&t.commitNS, applied/8*int64(m.InstrNS*8)+applied/4096*m.UpdatePage)
+	}
+	t.rt.gcIntervals()
+}
+
+// --- synchronization objects ---
+
+type lrcMutex struct {
+	id      uint64
+	vc      vclock
+	locked  bool
+	owner   int
+	waiters []int
+}
+
+func (*lrcMutex) ImplMutex() {}
+
+type lrcCond struct {
+	id      uint64
+	vc      vclock
+	waiters []int
+}
+
+func (*lrcCond) ImplCond() {}
+
+type lrcBarrier struct {
+	id      uint64
+	vc      vclock
+	parties int
+	waiting []int
+}
+
+func (*lrcBarrier) ImplBarrier() {}
+
+func (t *thread) newObjID() uint64 {
+	// Object ids combine tid and a per-thread counter (deterministic).
+	t.objSeq++
+	return uint64(t.tid)<<32 | t.objSeq
+}
+
+// NewMutex implements api.T.
+func (t *thread) NewMutex() api.Mutex { return &lrcMutex{id: t.newObjID(), vc: vclock{}, owner: -1} }
+
+// NewCond implements api.T.
+func (t *thread) NewCond() api.Cond { return &lrcCond{id: t.newObjID(), vc: vclock{}} }
+
+// NewBarrier implements api.T.
+func (t *thread) NewBarrier(parties int) api.Barrier {
+	if parties < 1 {
+		panic("rfdet: barrier needs at least one party")
+	}
+	return &lrcBarrier{id: t.newObjID(), vc: vclock{}, parties: parties}
+}
+
+// Lock implements api.T: acquire edge from the mutex.
+func (t *thread) Lock(mx api.Mutex) {
+	m := mx.(*lrcMutex)
+	t.syncOps++
+	for {
+		if !t.holding {
+			t.acquireToken()
+		}
+		if !m.locked {
+			m.locked, m.owner = true, t.tid
+			t.rt.rec.Record(t.tid, trace.OpLock, m.id, t.icount)
+			t.applyUpTo(m.vc)
+			break
+		}
+		m.waiters = append(m.waiters, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseToken()
+		t.blockForToken()
+	}
+	t.releaseToken()
+}
+
+// Unlock implements api.T: release edge into the mutex.
+func (t *thread) Unlock(mx api.Mutex) {
+	m := mx.(*lrcMutex)
+	t.syncOps++
+	t.acquireToken()
+	if !m.locked || m.owner != t.tid {
+		panic(fmt.Sprintf("rfdet: tid %d unlocking mutex %d it does not hold", t.tid, m.id))
+	}
+	m.locked, m.owner = false, -1
+	t.rt.rec.Record(t.tid, trace.OpUnlock, m.id, t.icount)
+	t.releaseInterval()
+	m.vc.join(t.vc)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	t.releaseToken()
+}
+
+// Wait implements api.T.
+func (t *thread) Wait(cx api.Cond, mx api.Mutex) {
+	c := cx.(*lrcCond)
+	m := mx.(*lrcMutex)
+	t.syncOps++
+	t.acquireToken()
+	if !m.locked || m.owner != t.tid {
+		panic("rfdet: cond wait without holding the mutex")
+	}
+	m.locked, m.owner = false, -1
+	t.rt.rec.Record(t.tid, trace.OpWait, c.id, t.icount)
+	t.releaseInterval()
+	m.vc.join(t.vc)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	c.waiters = append(c.waiters, t.tid)
+	t.deliver(t.rt.arb.Depart(t.tid))
+	t.releaseToken()
+	t.blockForToken()
+	t.applyUpTo(c.vc)
+	// Reacquire the mutex (token held).
+	for m.locked {
+		m.waiters = append(m.waiters, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseToken()
+		t.blockForToken()
+	}
+	m.locked, m.owner = true, t.tid
+	t.rt.rec.Record(t.tid, trace.OpLock, m.id, t.icount)
+	t.applyUpTo(m.vc)
+	t.releaseToken()
+}
+
+// Signal implements api.T.
+func (t *thread) Signal(cx api.Cond) {
+	c := cx.(*lrcCond)
+	t.syncOps++
+	t.acquireToken()
+	t.rt.rec.Record(t.tid, trace.OpSignal, c.id, t.icount)
+	t.releaseInterval()
+	c.vc.join(t.vc)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	t.releaseToken()
+}
+
+// Broadcast implements api.T.
+func (t *thread) Broadcast(cx api.Cond) {
+	c := cx.(*lrcCond)
+	t.syncOps++
+	t.acquireToken()
+	t.rt.rec.Record(t.tid, trace.OpBcast, c.id, t.icount)
+	t.releaseInterval()
+	c.vc.join(t.vc)
+	for _, w := range c.waiters {
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	c.waiters = nil
+	t.releaseToken()
+}
+
+// BarrierWait implements api.T: all-to-all edges — everyone releases into
+// the barrier, everyone leaves with the joined clock.
+func (t *thread) BarrierWait(bx api.Barrier) {
+	bar := bx.(*lrcBarrier)
+	t.syncOps++
+	t.acquireToken()
+	t.rt.rec.Record(t.tid, trace.OpBarrier, bar.id, t.icount)
+	t.releaseInterval()
+	bar.vc.join(t.vc)
+	if bar.parties == 1 {
+		t.applyUpTo(bar.vc)
+		t.releaseToken()
+		return
+	}
+	if len(bar.waiting) < bar.parties-1 {
+		bar.waiting = append(bar.waiting, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseToken()
+		t.account(&t.localWork)
+		t.b.Block()
+		t.account(&t.barrierWait)
+		t.icount = t.rt.arb.Count(t.tid)
+		// Apply the clock the releasing arrival pinned for us.
+		t.acquireToken()
+		t.applyUpTo(t.barrierVC)
+		t.releaseToken()
+		return
+	}
+	// Last arrival: pin the joined clock, wake everyone, apply our own.
+	waiters := bar.waiting
+	bar.waiting = nil
+	final := bar.vc.clone()
+	for _, w := range waiters {
+		rt := t.rt
+		rt.mu.Lock()
+		wt := rt.threads[w]
+		rt.mu.Unlock()
+		wt.barrierVC = final
+		t.deliver(t.rt.arb.Arrive(w))
+		t.b.Wake(wt.b)
+	}
+	t.applyUpTo(final)
+	t.releaseToken()
+}
+
+// ImplHandle marks thread as an api.Handle.
+func (t *thread) ImplHandle() {}
+
+// Spawn implements api.T: fork copies the parent's view wholesale.
+func (t *thread) Spawn(fn func(api.T)) api.Handle {
+	rt := t.rt
+	m := &rt.cfg.Model
+	t.syncOps++
+	t.acquireToken()
+	tid := rt.nextTid
+	rt.nextTid++
+	rt.rec.Record(t.tid, trace.OpSpawn, uint64(tid), t.icount)
+	view := append([]byte(nil), t.view...)
+	t.charge(&t.libNS, m.ForkBase+int64(len(view)/4096)*m.ForkPerPage)
+	child := rt.newThread(tid, t.icount, view, t.vc.clone())
+	rt.aggMu.Lock()
+	rt.agg.ThreadsSpawned++
+	rt.aggMu.Unlock()
+	rt.h.Go(fmt.Sprintf("t%d", tid), t.b, func(b host.Binding) {
+		child.start(b)
+		fn(child)
+		child.exit()
+	})
+	t.releaseToken()
+	return child
+}
+
+// Join implements api.T: acquire edge from the child's exit.
+func (t *thread) Join(h api.Handle) {
+	child, ok := h.(*thread)
+	if !ok {
+		panic("rfdet: foreign handle")
+	}
+	t.syncOps++
+	for {
+		if !t.holding {
+			t.acquireToken()
+		}
+		if child.done {
+			t.rt.rec.Record(t.tid, trace.OpJoin, uint64(child.tid), t.icount)
+			t.applyUpTo(child.vc)
+			t.releaseToken()
+			return
+		}
+		child.joiners = append(child.joiners, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseToken()
+		t.blockForToken()
+	}
+}
+
+// exit releases the thread's final interval and leaves the order.
+func (t *thread) exit() {
+	rt := t.rt
+	t.syncOps++
+	t.acquireToken()
+	t.rt.rec.Record(t.tid, trace.OpExit, uint64(t.tid), t.icount)
+	t.releaseInterval()
+	// The exiting thread's state flows to joiners through child.vc; the
+	// runtime also applies every outstanding interval into this view so
+	// the *last* exiter leaves the deterministic final image.
+	full := vclock{}
+	rt.mu.Lock()
+	for _, th := range rt.threads {
+		full.join(th.vc)
+	}
+	rt.mu.Unlock()
+	t.applyUpTo(full)
+	rt.final = t.view
+	rt.finalVC = t.vc.clone()
+	t.done = true
+	for _, j := range t.joiners {
+		t.deliver(rt.arb.ArriveWanting(j))
+	}
+	t.joiners = nil
+
+	t.account(&t.localWork)
+	rt.aggMu.Lock()
+	rt.agg.LocalWorkNS += t.localWork
+	rt.agg.DetermWaitNS += t.determWait
+	rt.agg.BarrierWaitNS += t.barrierWait
+	rt.agg.CommitNS += t.commitNS
+	rt.agg.LibNS += t.libNS
+	rt.agg.SyncOps += t.syncOps
+	rt.agg.TokenGrants = rt.arb.Stats().Grants
+	rt.agg.PerThread = append(rt.agg.PerThread, api.ThreadTime{
+		Tid: t.tid, LocalWork: t.localWork, DetermWait: t.determWait,
+		BarrierWait: t.barrierWait, Commit: t.commitNS, Lib: t.libNS,
+	})
+	if now := t.b.Now(); now > rt.agg.WallNS {
+		rt.agg.WallNS = now
+	}
+	rt.aggMu.Unlock()
+
+	t.releaseToken()
+	t.deliver(rt.arb.Unregister(t.tid))
+	rt.mu.Lock()
+	delete(rt.threads, t.tid)
+	rt.mu.Unlock()
+}
+
+var _ api.T = (*thread)(nil)

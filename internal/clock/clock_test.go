@@ -1,0 +1,397 @@
+package clock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestICGrantsGlobalMinimum(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 100)
+	a.Register(1, 50)
+	a.Register(2, 75)
+
+	// Thread 0 requests at clock 100; threads 1 and 2 are below it.
+	if g := a.Request(0); g != NoGrant {
+		t.Fatalf("granted %d while lower clocks exist", g)
+	}
+	// Thread 2 advances past 100: still blocked by thread 1 at 50.
+	if g := a.Advance(2, 60); g != NoGrant {
+		t.Fatalf("granted %d while thread 1 is at 50", g)
+	}
+	// Thread 1 advances to 120: thread 0 (clock 100) is now the minimum.
+	if g := a.Advance(1, 70); g != 0 {
+		t.Fatalf("grant = %d, want 0", g)
+	}
+	if a.Holder() != 0 {
+		t.Fatalf("holder = %d, want 0", a.Holder())
+	}
+}
+
+func TestICTieBreaksByTid(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(3, 10)
+	a.Register(1, 10)
+	a.Register(2, 99)
+	a.Request(3)
+	if g := a.Request(1); g != 1 {
+		t.Fatalf("equal clocks: grant = %d, want tid 1", g)
+	}
+	// After 1 releases, 3 becomes the minimum and gets the queued grant.
+	if g := a.Release(1); g != 3 {
+		t.Fatalf("after release grant = %d, want 3", g)
+	}
+}
+
+func TestICImmediateGrantWhenAlreadyMinimum(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 5)
+	a.Register(1, 10)
+	if g := a.Request(0); g != 0 {
+		t.Fatalf("minimum requester not granted immediately: %d", g)
+	}
+}
+
+func TestRRCyclesInTidOrder(t *testing.T) {
+	a := New(PolicyRR, false)
+	for tid := 0; tid < 3; tid++ {
+		a.Register(tid, 0)
+	}
+	// All three request "simultaneously": grants must come 0,1,2,0,...
+	if g := a.Request(1); g != NoGrant {
+		t.Fatalf("tid 1 granted out of turn: %d", g)
+	}
+	if g := a.Request(2); g != NoGrant {
+		t.Fatalf("tid 2 granted out of turn: %d", g)
+	}
+	if g := a.Request(0); g != 0 {
+		t.Fatalf("tid 0's turn: grant = %d", g)
+	}
+	if g := a.Release(0); g != 1 {
+		t.Fatalf("next turn grant = %d, want 1", g)
+	}
+	if g := a.Release(1); g != 2 {
+		t.Fatalf("next turn grant = %d, want 2", g)
+	}
+	if g := a.Release(2); g != NoGrant {
+		t.Fatalf("nobody waiting but grant = %d", g)
+	}
+	// Ring wrapped back to 0.
+	if g := a.Request(0); g != 0 {
+		t.Fatalf("wrap-around grant = %d, want 0", g)
+	}
+	a.Release(0)
+}
+
+func TestRRWaitsForTurnHolder(t *testing.T) {
+	// The Figure 1b pathology: the ring waits on an eligible thread that
+	// has not requested, even though others are ready.
+	a := New(PolicyRR, false)
+	a.Register(0, 0)
+	a.Register(1, 0)
+	if g := a.Request(1); g != NoGrant {
+		t.Fatal("tid 1 must wait for tid 0's turn")
+	}
+	// Thread 0 departs (blocks on a lock): ring skips it.
+	if g := a.Depart(0); g != 1 {
+		t.Fatalf("depart should unblock tid 1: grant = %d", g)
+	}
+}
+
+func TestDepartRemovesFromConsideration(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 10)
+	a.Register(1, 1000)
+	// Thread 1 requests; thread 0 is lower but departs (blocked on lock).
+	if g := a.Request(1); g != NoGrant {
+		t.Fatal("premature grant")
+	}
+	if g := a.Depart(0); g != 1 {
+		t.Fatalf("grant after depart = %d, want 1", g)
+	}
+	a.Release(1)
+	// Thread 0 arrives back with its low clock: it is the minimum again.
+	a.Arrive(0)
+	if g := a.Request(0); g != 0 {
+		t.Fatal("arrived thread with min clock not granted")
+	}
+}
+
+func TestFastForward(t *testing.T) {
+	a := New(PolicyIC, true)
+	a.Register(0, 10)
+	a.Register(1, 500)
+	a.Depart(0)
+	// Thread 1 takes and releases the token at clock 500.
+	if g := a.Request(1); g != 1 {
+		t.Fatal("sole eligible thread not granted")
+	}
+	a.Release(1)
+	// Thread 0 arrives: fast-forward lifts it to the releaser's clock
+	// (501: release itself retires one instruction).
+	a.Arrive(0)
+	if c := a.Count(0); c != 501 {
+		t.Fatalf("fast-forwarded count = %d, want 501", c)
+	}
+	st := a.Stats()
+	if st.FastForwards != 1 || st.FastForwardSkip != 491 {
+		t.Errorf("ff stats = %+v", st)
+	}
+	// Without fast-forward the clock stays put.
+	b := New(PolicyIC, false)
+	b.Register(0, 10)
+	b.Register(1, 500)
+	b.Depart(0)
+	b.Request(1)
+	b.Release(1)
+	b.Arrive(0)
+	if c := b.Count(0); c != 10 {
+		t.Fatalf("count with ff disabled = %d, want 10", c)
+	}
+}
+
+func TestDepartWhileHoldingToken(t *testing.T) {
+	// Figure 7's failed-lock path: clockDepart while still holding the
+	// token, then release. The release grant must skip the departed thread.
+	a := New(PolicyIC, false)
+	a.Register(0, 5)
+	a.Register(1, 100)
+	if g := a.Request(0); g != 0 {
+		t.Fatal("min requester not granted")
+	}
+	a.Request(1)
+	a.Depart(0) // departing holder: no grant (token still held)
+	if g := a.Release(0); g != 1 {
+		t.Fatalf("grant after departed holder released = %d, want 1", g)
+	}
+}
+
+func TestReleaseAdvancesClock(t *testing.T) {
+	// Two threads at equal clocks alternate instead of livelocking.
+	a := New(PolicyIC, false)
+	a.Register(0, 10)
+	a.Register(1, 10)
+	if g := a.Request(0); g != 0 {
+		t.Fatal("tid 0 should win the tie")
+	}
+	a.Request(1)
+	if g := a.Release(0); g != 1 {
+		t.Fatalf("after release, tid 1 must win (tid 0 advanced): grant = %d", g)
+	}
+	if c := a.Count(0); c != 11 {
+		t.Errorf("releaser clock = %d, want 11", c)
+	}
+}
+
+func TestTransferTo(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 0)
+	a.Register(1, 5)
+	a.Request(0)
+	a.TransferTo(0, 1)
+	if a.Holder() != 1 {
+		t.Fatalf("holder = %d after transfer", a.Holder())
+	}
+	if g := a.Release(1); g != NoGrant {
+		t.Fatal("spurious grant")
+	}
+}
+
+func TestUnregisterUnblocks(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 1)
+	a.Register(1, 100)
+	if g := a.Request(1); g != NoGrant {
+		t.Fatal("premature grant")
+	}
+	if g := a.Unregister(0); g != 1 {
+		t.Fatalf("grant after unregister = %d, want 1", g)
+	}
+}
+
+func TestMinWantingAbove(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 10)
+	a.Register(1, 100)
+	a.Register(2, 200)
+	a.Request(1)
+	a.Request(2)
+	if v, ok := a.MinWantingAbove(10); !ok || v != 100 {
+		t.Errorf("MinWantingAbove(10) = %d,%v", v, ok)
+	}
+	if v, ok := a.MinWantingAbove(150); !ok || v != 200 {
+		t.Errorf("MinWantingAbove(150) = %d,%v", v, ok)
+	}
+	if _, ok := a.MinWantingAbove(300); ok {
+		t.Error("MinWantingAbove(300) should find nothing")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(a *Arbiter)
+	}{
+		{"double register", func(a *Arbiter) { a.Register(0, 0) }},
+		{"unknown advance", func(a *Arbiter) { a.Advance(99, 1) }},
+		{"negative advance", func(a *Arbiter) { a.Advance(0, -1) }},
+		{"release not holder", func(a *Arbiter) { a.Release(0) }},
+		{"request while holding", func(a *Arbiter) { a.Request(0); a.Request(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(PolicyIC, false)
+			a.Register(0, 0)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f(a)
+		})
+	}
+}
+
+// Property: under IC, for any interleaving of advances, the sequence of
+// grants is exactly the sequence produced by repeatedly picking the
+// lexicographically smallest (count, tid) among waiting threads when all
+// running threads' counts exceed it.
+func TestPropICGrantOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(PolicyIC, false)
+		const n = 5
+		counts := make([]int64, n)
+		for tid := 0; tid < n; tid++ {
+			counts[tid] = int64(rng.Intn(100))
+			a.Register(tid, counts[tid])
+		}
+		// All threads request; they must be granted (processing release
+		// immediately) in sorted (count, tid) order.
+		type key struct {
+			c   int64
+			tid int
+		}
+		var want []key
+		for tid := 0; tid < n; tid++ {
+			want = append(want, key{counts[tid], tid})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].c != want[j].c {
+				return want[i].c < want[j].c
+			}
+			return want[i].tid < want[j].tid
+		})
+		// Each thread requests once, and exits (unregisters) after its
+		// grant — a still-registered thread below a waiter's clock
+		// correctly blocks that waiter, so exit is what lets the full
+		// order drain.
+		var got []int
+		grant := NoGrant
+		drain := func() {
+			for grant != NoGrant {
+				got = append(got, grant)
+				g1 := a.Release(grant)
+				g2 := a.Unregister(grant)
+				grant = g1
+				if g2 != NoGrant {
+					grant = g2
+				}
+			}
+		}
+		for tid := 0; tid < n; tid++ {
+			if g := a.Request(tid); g != NoGrant {
+				grant = g
+			}
+			drain()
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, tid := range got {
+			if want[i].tid != tid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RR grants visit every requesting thread exactly once per cycle,
+// in ascending tid order starting from the ring position.
+func TestPropRRFairness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		a := New(PolicyRR, false)
+		for tid := 0; tid < n; tid++ {
+			a.Register(tid, 0)
+		}
+		// Everybody requests in random order; grants must be 0..n-1.
+		perm := rng.Perm(n)
+		grant := NoGrant
+		for _, tid := range perm {
+			if g := a.Request(tid); g != NoGrant {
+				grant = g
+			}
+		}
+		var got []int
+		for grant != NoGrant {
+			got = append(got, grant)
+			grant = a.Release(grant)
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, tid := range got {
+			if tid != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowAdaptive(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 0)
+	a.Register(1, 300)
+	a.Request(1) // waiter at 300
+
+	o := NewOverflow(100, true)
+	// Rule 2: fire just past the waiter's clock.
+	if iv := o.Next(0, 0, a); iv != 301 {
+		t.Errorf("interval = %d, want 301", iv)
+	}
+	// Past all waiters: rule 3 doubles.
+	if iv := o.Next(0, 400, a); iv != 100 {
+		t.Errorf("first backoff interval = %d, want 100", iv)
+	}
+	if iv := o.Next(0, 500, a); iv != 200 {
+		t.Errorf("doubled interval = %d, want 200", iv)
+	}
+	o.ResetChunk()
+	if iv := o.Next(0, 600, a); iv != 100 {
+		t.Errorf("interval after chunk reset = %d, want 100", iv)
+	}
+}
+
+func TestOverflowStatic(t *testing.T) {
+	a := New(PolicyIC, false)
+	a.Register(0, 0)
+	o := NewOverflow(0, false)
+	if iv := o.Next(0, 0, a); iv != DefaultOverflowBase {
+		t.Errorf("static interval = %d", iv)
+	}
+	if iv := o.Next(0, 1<<30, a); iv != DefaultOverflowBase {
+		t.Errorf("static interval drifted: %d", iv)
+	}
+}

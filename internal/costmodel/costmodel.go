@@ -1,0 +1,87 @@
+// Package costmodel holds the virtual-time cost parameters shared by all
+// simulated runtimes. The values are calibrated to the paper's testbed
+// class (2 GHz Xeon, Linux 2.6.37): absolute numbers are order-of-magnitude
+// models of syscall, page-fault and futex costs, and the figures compare
+// ratios across runtimes that all share one model, so the reproduced
+// shapes are insensitive to modest miscalibration.
+package costmodel
+
+// Model lists every chargeable operation in virtual nanoseconds (except
+// InstrNS, which is per instruction).
+type Model struct {
+	// InstrNS is the virtual time per retired instruction (ns). 0.5
+	// corresponds to 2 GHz at IPC 1.
+	InstrNS float64
+
+	// PageFault is a Conversion copy-on-write fault (kernel-module path).
+	PageFault int64
+	// MprotectFault is a DThreads-style fault: SIGSEGV delivery, handler,
+	// and two mprotect syscalls — considerably dearer than the kernel path.
+	MprotectFault int64
+
+	// CommitFixed is the per-commit syscall/bookkeeping floor.
+	CommitFixed int64
+	// CommitPageSerial is phase-1 (ordering) work per committed page.
+	CommitPageSerial int64
+	// CommitPageMerge is phase-2 work per committed page: diffing the twin
+	// and installing (or byte-merging) the result.
+	CommitPageMerge int64
+	// UpdatePage is the cost per remote page imported by an update.
+	UpdatePage int64
+
+	// TokenHandoff is the cost of passing the global token.
+	TokenHandoff int64
+	// Wakeup is the wake-to-running latency. The paper's runtime notifies
+	// waiters from kernel space through shared memory (§3.4), "avoiding
+	// costly signals to user space", so this is far below a cold
+	// signal-delivery path.
+	Wakeup int64
+
+	// SyscallClockRead reads the performance counter via the kernel module;
+	// UserClockRead is the user-space fast path (§3.4).
+	SyscallClockRead int64
+	UserClockRead    int64
+	// OverflowIRQ is the cost of one counter-overflow interrupt (§3.2).
+	OverflowIRQ int64
+
+	// ForkBase and ForkPerPage model process creation with a populated
+	// Conversion page table (§3.3); PoolReuse is the cheap path that
+	// reuses a pooled thread.
+	ForkBase    int64
+	ForkPerPage int64
+	PoolReuse   int64
+
+	// SyncOpLocal is the cost of an uncontended pthreads mutex/barrier
+	// operation (the nondeterministic baseline's only sync overhead).
+	SyncOpLocal int64
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{
+		InstrNS:          0.5,
+		PageFault:        3_500,
+		MprotectFault:    12_000,
+		CommitFixed:      1_400,
+		CommitPageSerial: 300,
+		CommitPageMerge:  2_400,
+		UpdatePage:       700,
+		TokenHandoff:     350,
+		Wakeup:           1_600,
+		SyscallClockRead: 600,
+		UserClockRead:    80,
+		OverflowIRQ:      1_200,
+		ForkBase:         120_000,
+		ForkPerPage:      450,
+		PoolReuse:        15_000,
+		SyncOpLocal:      90,
+	}
+}
+
+// Instr converts an instruction count to virtual nanoseconds.
+func (m Model) Instr(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(float64(n) * m.InstrNS)
+}

@@ -1,0 +1,48 @@
+package costmodel
+
+import "testing"
+
+func TestInstrConversion(t *testing.T) {
+	m := Default()
+	if got := m.Instr(0); got != 0 {
+		t.Errorf("Instr(0) = %d", got)
+	}
+	if got := m.Instr(-5); got != 0 {
+		t.Errorf("Instr(negative) = %d", got)
+	}
+	if got := m.Instr(2000); got != int64(2000*m.InstrNS) {
+		t.Errorf("Instr(2000) = %d", got)
+	}
+}
+
+func TestDefaultOrderings(t *testing.T) {
+	// Relationships the evaluation's shapes depend on; a calibration edit
+	// that breaks one of these deserves a failing test.
+	m := Default()
+	if m.MprotectFault <= m.PageFault {
+		t.Error("mprotect fault should cost more than the kernel CoW path")
+	}
+	if m.UserClockRead >= m.SyscallClockRead {
+		t.Error("user-space clock read should be cheaper than the syscall")
+	}
+	if m.PoolReuse >= m.ForkBase {
+		t.Error("pool reuse should be cheaper than a fork")
+	}
+	if m.SyncOpLocal >= m.CommitFixed {
+		t.Error("a pthreads sync op should be far cheaper than a commit")
+	}
+	for name, v := range map[string]int64{
+		"PageFault": m.PageFault, "CommitFixed": m.CommitFixed,
+		"CommitPageSerial": m.CommitPageSerial, "CommitPageMerge": m.CommitPageMerge,
+		"UpdatePage": m.UpdatePage, "TokenHandoff": m.TokenHandoff,
+		"Wakeup": m.Wakeup, "OverflowIRQ": m.OverflowIRQ,
+		"ForkBase": m.ForkBase, "ForkPerPage": m.ForkPerPage,
+	} {
+		if v <= 0 {
+			t.Errorf("%s must be positive, got %d", name, v)
+		}
+	}
+	if m.InstrNS <= 0 {
+		t.Error("InstrNS must be positive")
+	}
+}

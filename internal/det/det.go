@@ -1,0 +1,400 @@
+// Package det implements Consequence: a deterministic multithreading
+// runtime with total-store-order memory consistency (Merrifield, Devietti,
+// Eriksson — EuroSys 2015).
+//
+// Threads execute local work against isolated workspaces of a versioned
+// memory segment (internal/mem, the Conversion substrate). Every
+// synchronization operation requires the single global token, granted in a
+// deterministic order by the logical-clock arbiter (internal/clock):
+// instruction-count (GMIC/Kendo) order for Consequence-IC, round-robin for
+// Consequence-RR. Writes accumulate in per-thread store buffers and publish
+// as totally-ordered versions at token-held commits, giving TSO.
+//
+// The optimizations from §3 of the paper are all implemented and
+// individually switchable (Config): adaptive coarsening, adaptive counter
+// overflow, thread reuse for fork-join programs, user-space clock reads,
+// fast-forward, and the parallel two-phase barrier commit of §4.2.
+//
+// The runtime is host-agnostic: on internal/host/realhost threads are
+// goroutines running in parallel with wall-clock time; on
+// internal/host/simhost they are virtual threads with a modeled cost for
+// every operation, which is how the benchmark harness regenerates the
+// paper's figures deterministically. The logical behaviour — sync order,
+// logical clocks, memory state — is identical on both hosts.
+package det
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/clock"
+	"repro/internal/costmodel"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config selects the runtime's policies and optimizations. The zero value
+// is not valid; start from Default().
+type Config struct {
+	// Policy is the deterministic ordering discipline: clock.PolicyIC
+	// (Consequence-IC) or clock.PolicyRR (Consequence-RR).
+	Policy clock.Policy
+	// FastForward enables §3.5: a woken thread's clock jumps to the last
+	// token releaser's clock.
+	FastForward bool
+
+	// Coarsening enables §3.1 chunk coarsening. With StaticLevel == 0 the
+	// adaptive policy is used (per-lock and per-thread EWMA chunk
+	// estimates bounded by an MIMD-adapted max chunk length); with
+	// StaticLevel >= 2, exactly that many coordination phases are fused.
+	Coarsening  bool
+	StaticLevel int
+	// MaxChunkInit/Floor/Cap bound the MIMD adaptation of the maximum
+	// coarsened chunk length, in instructions.
+	MaxChunkInit  int64
+	MaxChunkFloor int64
+	MaxChunkCap   int64
+	// CoarsenChunkThreshold gates the adaptive policy: a chunk is only
+	// fused into a token-held span if its estimated length is at most this
+	// many instructions — i.e., comparable to the coordination overhead
+	// fusion eliminates. Chunks longer than this do real parallel work
+	// that would be serialized for no net gain. (An extension to §3.1's
+	// scheme; see DESIGN.md.)
+	CoarsenChunkThreshold int64
+
+	// AdaptiveOverflow enables §3.2; OverflowBase is the static interval
+	// (and the adaptive policy's per-chunk reset value).
+	AdaptiveOverflow bool
+	OverflowBase     int64
+
+	// UserspaceClockRead enables §3.4: clock reads at sync ops inside a
+	// coarsened chunk skip the syscall.
+	UserspaceClockRead bool
+	// ThreadPool enables §3.3 thread reuse for fork-join programs.
+	ThreadPool bool
+	// PoolCap bounds the number of pooled workspaces.
+	PoolCap int
+	// ParallelBarrier enables the two-phase parallel barrier commit (§4.2).
+	ParallelBarrier bool
+
+	// ChunkLimit > 0 forces a commit+update after that many instructions
+	// without one, supporting ad-hoc synchronization (§2.7). The paper's
+	// evaluation (and ours) runs with it disabled.
+	ChunkLimit int64
+
+	// SingleGlobalLock aliases every mutex to one global lock, the
+	// DThreads/DWC locking model the paper contrasts against ("the mutual
+	// exclusion implementation replaces all locks with a single global
+	// lock"). Used by the DWC baseline.
+	SingleGlobalLock bool
+	// PollingMutex replaces the paper's blocking mutex_lock with the
+	// Kendo-style polling acquisition it improves upon (§4.1): a loser
+	// does not depart and queue — it bumps its own clock past the current
+	// minimum and retries, burning token rounds until the lock frees.
+	// PollingBump is the clock increment per failed attempt (Kendo's
+	// program-specific tuning knob; 0 means re-contend just past the next
+	// eligible thread). Exists for the blocking-vs-polling ablation.
+	PollingMutex bool
+	PollingBump  int64
+	// NameOverride replaces the reported runtime name (baselines built as
+	// det configurations use it).
+	NameOverride string
+
+	// SegmentSize and PageSize configure the shared memory segment.
+	SegmentSize int
+	PageSize    int
+	// GCPageBudget bounds each GC pass (0 = unlimited); GCEveryNCommits is
+	// the collection cadence.
+	GCPageBudget    int
+	GCEveryNCommits int
+
+	// TraceKeep bounds retained trace events (hashing always covers all).
+	TraceKeep int
+	// Model is the simulation cost model (ignored on untimed hosts).
+	Model costmodel.Model
+}
+
+// Default returns the full Consequence-IC configuration, all optimizations
+// enabled.
+func Default() Config {
+	return Config{
+		Policy:                clock.PolicyIC,
+		FastForward:           true,
+		Coarsening:            true,
+		MaxChunkInit:          200_000,
+		MaxChunkFloor:         60_000,
+		MaxChunkCap:           2_000_000,
+		CoarsenChunkThreshold: 12_000,
+		AdaptiveOverflow:      true,
+		OverflowBase:          10_000,
+		UserspaceClockRead:    true,
+		ThreadPool:            true,
+		PoolCap:               64,
+		ParallelBarrier:       true,
+		SegmentSize:           1 << 24,
+		// GCPageBudget models the single-threaded Conversion collector: a
+		// bounded reclaim per pass, so programs that churn pages faster
+		// than one collector thread can fold them retain versions — the
+		// canneal / lu_ncb memory growth of Figure 12.
+		GCPageBudget:    192,
+		GCEveryNCommits: 16,
+		TraceKeep:       4096,
+		Model:           costmodel.Default(),
+	}
+}
+
+// Hooks receives token-serialized notifications of runtime events; the LRC
+// propagation study (internal/lrc, Figure 16) plugs in here. All methods
+// are invoked with the global token held, so implementations need no
+// locking and see the deterministic total order.
+type Hooks interface {
+	// OnAcquire fires when tid completes an acquire-flavoured operation on
+	// a sync object (lock acquisition, cond wakeup, barrier exit, join,
+	// child start).
+	OnAcquire(tid int, obj uint64)
+	// OnRelease fires when tid performs a release-flavoured operation
+	// (unlock, signal/broadcast, barrier entry, spawn, exit).
+	OnRelease(tid int, obj uint64)
+	// OnCommit fires after tid commits version v (nil if the commit had no
+	// changed pages).
+	OnCommit(tid int, v *mem.Version)
+	// OnUpdate fires after tid imports remote versions up to `to`.
+	OnUpdate(tid int, to int64)
+	// OnSpawn fires when parent creates child (the fork copies the
+	// parent's view wholesale).
+	OnSpawn(parent, child int)
+}
+
+// Runtime is one deterministic execution context. Create with New, use
+// once via Run.
+type Runtime struct {
+	cfg   Config
+	h     host.Host
+	timed bool
+	arb   *clock.Arbiter
+	seg   *mem.Segment
+	rec   *trace.Recorder
+	hooks Hooks
+
+	mu      sync.Mutex // guards threads map and pool
+	threads map[int]*Thread
+	pool    []*mem.Workspace
+
+	// token-serialized state (mutated only while holding the token)
+	nextTid      int
+	lastCoordTid int
+	commitCount  int64
+	globalMutex  *dMutex // all mutexes alias here when SingleGlobalLock
+
+	started bool
+	agg     aggStats
+	aggMu   sync.Mutex
+}
+
+type aggStats struct {
+	api.RunStats
+}
+
+// New creates a runtime on the given host.
+func New(cfg Config, h host.Host) (*Runtime, error) {
+	if cfg.SegmentSize <= 0 {
+		return nil, fmt.Errorf("det: segment size must be positive")
+	}
+	if cfg.Coarsening && cfg.StaticLevel == 1 {
+		return nil, fmt.Errorf("det: static coarsening level 1 is meaningless (use 0 for adaptive or >= 2)")
+	}
+	seg, err := mem.NewSegment(mem.SegmentConfig{
+		Name:         "heap",
+		Size:         cfg.SegmentSize,
+		PageSize:     cfg.PageSize,
+		GCPageBudget: cfg.GCPageBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:          cfg,
+		h:            h,
+		timed:        h.Timed(),
+		arb:          clock.New(cfg.Policy, cfg.FastForward),
+		seg:          seg,
+		rec:          trace.New(cfg.TraceKeep),
+		threads:      make(map[int]*Thread),
+		lastCoordTid: -1,
+	}
+	if cfg.SingleGlobalLock {
+		rt.globalMutex = &dMutex{id: 1, owner: -1}
+	}
+	return rt, nil
+}
+
+// SetHooks installs event hooks; must be called before Run.
+func (rt *Runtime) SetHooks(h Hooks) {
+	if rt.started {
+		panic("det: SetHooks after Run")
+	}
+	rt.hooks = h
+}
+
+// Name implements api.Runtime.
+func (rt *Runtime) Name() string {
+	if rt.cfg.NameOverride != "" {
+		return rt.cfg.NameOverride
+	}
+	return "consequence-" + map[clock.Policy]string{clock.PolicyIC: "ic", clock.PolicyRR: "rr"}[rt.cfg.Policy]
+}
+
+// Segment exposes the shared segment (tests and the harness read it).
+func (rt *Runtime) Segment() *mem.Segment { return rt.seg }
+
+// Trace exposes the sync-order trace recorder.
+func (rt *Runtime) Trace() *trace.Recorder { return rt.rec }
+
+// Run implements api.Runtime: executes root as thread 0 and waits for all
+// threads.
+func (rt *Runtime) Run(root func(api.T)) error {
+	if rt.started {
+		panic("det: Runtime is single-use")
+	}
+	rt.started = true
+	t, err := rt.newThread(0, 0)
+	if err != nil {
+		return err
+	}
+	rt.nextTid = 1
+	rt.h.Go("t0", nil, func(b host.Binding) {
+		t.start(b)
+		rt.threadMain(t, root)
+	})
+	return rt.h.Run()
+}
+
+// newThread allocates thread bookkeeping (workspace, arbiter registration).
+// Called before the thread's host goroutine starts; for children this runs
+// under the parent's token, making tids and registration deterministic.
+func (rt *Runtime) newThread(tid int, startClock int64) (*Thread, error) {
+	ws, err := rt.seg.Snapshot(tid)
+	if err != nil {
+		return nil, err
+	}
+	t := rt.attachThread(tid, startClock, ws)
+	return t, nil
+}
+
+func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *Thread {
+	t := &Thread{
+		rt:       rt,
+		tid:      tid,
+		ws:       ws,
+		icount:   startClock,
+		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
+	}
+	t.coarse.maxChunk = rt.cfg.MaxChunkInit
+	rt.mu.Lock()
+	rt.threads[tid] = t
+	rt.mu.Unlock()
+	rt.deliverFrom(nil, rt.arb.Register(tid, startClock))
+	return t
+}
+
+func (rt *Runtime) threadMain(t *Thread, fn func(api.T)) {
+	fn(t)
+	t.exit()
+}
+
+// lookup returns the thread with the given tid.
+func (rt *Runtime) lookup(tid int) *Thread {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	th, ok := rt.threads[tid]
+	if !ok {
+		panic(fmt.Sprintf("det: grant for unknown tid %d", tid))
+	}
+	return th
+}
+
+// deliverFrom wakes the thread granted the token by an arbiter operation.
+// waker is the binding performing the wake (nil only during setup, when no
+// grant can occur).
+func (rt *Runtime) deliverFrom(waker host.Binding, grant int) {
+	if grant == clock.NoGrant {
+		return
+	}
+	target := rt.lookup(grant)
+	if waker == nil {
+		panic("det: token grant before any thread is running")
+	}
+	waker.Wake(target.b)
+}
+
+// Checksum implements api.Runtime: FNV-1a over the final committed state.
+func (rt *Runtime) Checksum() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, rt.seg.PageSize())
+	at := rt.seg.Head()
+	for pg := 0; pg < rt.seg.NumPages(); pg++ {
+		rt.seg.ReadCommitted(buf, pg*rt.seg.PageSize(), at)
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// Stats implements api.Runtime.
+func (rt *Runtime) Stats() api.RunStats {
+	rt.aggMu.Lock()
+	s := rt.agg.RunStats
+	rt.aggMu.Unlock()
+	ms := rt.seg.Stats()
+	s.Faults = ms.Faults
+	s.Versions = ms.Versions
+	s.CommittedPages = ms.CommittedPages
+	s.MergedPages = ms.MergedPages
+	s.PulledPages = ms.PulledPages
+	s.PeakPages = ms.PeakPages
+	s.TokenGrants = rt.arb.Stats().Grants
+	return s
+}
+
+// aggregate folds a finished thread's accumulators into the runtime totals.
+// Called with the token held (exit is a sync op), so it is serialized, but
+// Stats may read concurrently — hence aggMu.
+func (rt *Runtime) aggregate(t *Thread) {
+	rt.aggMu.Lock()
+	defer rt.aggMu.Unlock()
+	a := &rt.agg.RunStats
+	a.LocalWorkNS += t.bd.localWork
+	a.DetermWaitNS += t.bd.determWait
+	a.BarrierWaitNS += t.bd.barrierWait
+	a.CommitNS += t.bd.commit
+	a.FaultNS += t.bd.fault
+	a.LibNS += t.bd.lib
+	a.SyncOps += t.syncOps
+	a.CoarsenedOps += t.coarsenedOps
+	a.PerThread = append(a.PerThread, api.ThreadTime{
+		Tid:         t.tid,
+		LocalWork:   t.bd.localWork,
+		DetermWait:  t.bd.determWait,
+		BarrierWait: t.bd.barrierWait,
+		Commit:      t.bd.commit,
+		Fault:       t.bd.fault,
+		Lib:         t.bd.lib,
+	})
+	if now := t.b.Now(); now > a.WallNS {
+		a.WallNS = now
+	}
+}
+
+// noteSpawn records spawn accounting (token-held).
+func (rt *Runtime) noteSpawn(reused bool) {
+	rt.aggMu.Lock()
+	defer rt.aggMu.Unlock()
+	rt.agg.ThreadsSpawned++
+	if reused {
+		rt.agg.ThreadsReused++
+	}
+}
+
+var _ api.Runtime = (*Runtime)(nil)

@@ -1,0 +1,157 @@
+package det_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/costmodel"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+)
+
+// Additional behavioural coverage: condition-variable corner cases,
+// nested spawning, and concurrent distinct barriers.
+
+func TestSignalWithNoWaitersIsLost(t *testing.T) {
+	// pthreads semantics: a signal with no waiter has no effect; a waiter
+	// arriving later must re-check its predicate and block.
+	_, _, rt := run(t, cfg(), simhost.New(costmodel.Default()), func(root api.T) {
+		m := root.NewMutex()
+		c := root.NewCond()
+		root.Lock(m)
+		root.Signal(c) // nobody waiting: lost
+		root.Unlock(m)
+		h := root.Spawn(func(w api.T) {
+			w.Lock(m)
+			// Predicate already true — must NOT wait (a wait here would
+			// deadlock, which the sim detects).
+			if api.U64(w, 0) == 0 {
+				api.PutU64(w, 8, 1) // saw zero: fine, no wait needed
+			}
+			w.Unlock(m)
+		})
+		root.Join(h)
+	})
+	_ = rt
+}
+
+func TestBroadcastWakesAllDeterministically(t *testing.T) {
+	prog := func(root api.T) {
+		m := root.NewMutex()
+		c := root.NewCond()
+		const n = 5
+		var hs []api.Handle
+		for i := 0; i < n; i++ {
+			i := i
+			hs = append(hs, root.Spawn(func(w api.T) {
+				w.Lock(m)
+				for api.U64(w, 0) == 0 {
+					w.Wait(c, m)
+				}
+				// Record wake order: deterministic under the runtime.
+				order := api.AddU64(w, 8, 1)
+				api.PutU64(w, 16+8*i, order)
+				w.Unlock(m)
+			}))
+		}
+		root.Compute(50_000) // let all waiters park
+		root.Lock(m)
+		api.PutU64(root, 0, 1)
+		root.Broadcast(c)
+		root.Unlock(m)
+		for _, h := range hs {
+			root.Join(h)
+		}
+	}
+	sum1, rec1, rt := run(t, cfg(), simhost.New(costmodel.Default()), prog)
+	var count [8]byte
+	rt.Segment().ReadCommitted(count[:], 8, rt.Segment().Head())
+	if count[0] != 5 {
+		t.Fatalf("broadcast woke %d of 5 waiters", count[0])
+	}
+	sum2, rec2, _ := run(t, cfg(), realhost.New(200*time.Microsecond, 13), prog)
+	if sum1 != sum2 || rec1.Hash() != rec2.Hash() {
+		t.Error("broadcast wake order nondeterministic across hosts")
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	// A child spawning grandchildren: tid allocation and join edges must
+	// hold transitively.
+	prog := func(root api.T) {
+		h := root.Spawn(func(child api.T) {
+			var gs []api.Handle
+			for i := 0; i < 3; i++ {
+				i := i
+				gs = append(gs, child.Spawn(func(g api.T) {
+					api.AddU64(g, 8*(1+i), uint64(g.Tid()))
+				}))
+			}
+			for _, g := range gs {
+				child.Join(g)
+			}
+			// Child sees all grandchildren's writes.
+			total := uint64(0)
+			for i := 0; i < 3; i++ {
+				total += api.U64(child, 8*(1+i))
+			}
+			api.PutU64(child, 0, total)
+		})
+		root.Join(h)
+		if api.U64(root, 0) == 0 {
+			panic("grandchildren's writes not visible through join chain")
+		}
+	}
+	for _, hm := range allHosts() {
+		t.Run(hm.name, func(t *testing.T) {
+			run(t, cfg(), hm.mk(), prog)
+		})
+	}
+}
+
+func TestTwoIndependentBarriers(t *testing.T) {
+	// Two disjoint groups using two different barriers concurrently: the
+	// groups must not interfere.
+	prog := func(root api.T) {
+		barA := root.NewBarrier(2)
+		barB := root.NewBarrier(2)
+		group := func(bar api.Barrier, base int) func(api.T) {
+			return func(w api.T) {
+				for it := 0; it < 4; it++ {
+					api.AddU64(w, base, 1)
+					w.BarrierWait(bar)
+				}
+			}
+		}
+		h1 := root.Spawn(group(barA, 256))
+		h2 := root.Spawn(group(barA, 264))
+		h3 := root.Spawn(group(barB, 512))
+		h4 := root.Spawn(group(barB, 520))
+		for _, h := range []api.Handle{h1, h2, h3, h4} {
+			root.Join(h)
+		}
+		for _, off := range []int{256, 264, 512, 520} {
+			if got := api.U64(root, off); got != 4 {
+				panic(fmt.Sprintf("slot %d = %d, want 4", off, got))
+			}
+		}
+	}
+	for _, hm := range allHosts() {
+		t.Run(hm.name, func(t *testing.T) {
+			run(t, cfg(), hm.mk(), prog)
+		})
+	}
+}
+
+func TestManySmallSegmentPages(t *testing.T) {
+	// Tiny pages stress the diff/merge machinery.
+	c := cfg()
+	c.PageSize = 256
+	sum1, _, _ := run(t, c, simhost.New(costmodel.Default()), counterProg(3, 15))
+	sum2, _, _ := run(t, c, realhost.New(100*time.Microsecond, 4), counterProg(3, 15))
+	if sum1 != sum2 {
+		t.Error("tiny pages nondeterministic")
+	}
+}

@@ -1,0 +1,246 @@
+package det_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/host"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+)
+
+// The determinism fuzzer: generate a random multithreaded program from a
+// seed — deadlock-free by construction — and assert that its final memory
+// and synchronization order are identical across repeated simulator runs
+// and schedule-perturbed real-host runs.
+//
+// Program shape: W workers execute R barrier-separated rounds; inside each
+// round every worker runs its own random mix of compute, shared-memory
+// reads/writes (racy on purpose), and lock-protected increments over a
+// small set of mutexes (one lock held at a time). Optionally a bounded
+// producer/consumer exchange runs across the whole program. Barrier rounds
+// and queue roles are agreed at generation time, so every blocking
+// construct is balanced.
+
+type fuzzOp struct {
+	kind  int // 0 compute, 1 write, 2 read, 3 locked increment
+	n     int64
+	off   int
+	mutex int
+}
+
+type fuzzProgram struct {
+	workers  int
+	rounds   int
+	mutexes  int
+	ops      [][][]fuzzOp // [worker][round][ops]
+	useQueue bool
+	items    int
+}
+
+func genFuzzProgram(seed int64) fuzzProgram {
+	rng := rand.New(rand.NewSource(seed))
+	p := fuzzProgram{
+		workers:  2 + rng.Intn(4),
+		rounds:   1 + rng.Intn(3),
+		mutexes:  1 + rng.Intn(3),
+		useQueue: rng.Intn(2) == 0,
+		items:    5 + rng.Intn(20),
+	}
+	p.ops = make([][][]fuzzOp, p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.ops[w] = make([][]fuzzOp, p.rounds)
+		for r := 0; r < p.rounds; r++ {
+			n := rng.Intn(12)
+			for i := 0; i < n; i++ {
+				op := fuzzOp{kind: rng.Intn(4)}
+				switch op.kind {
+				case 0:
+					op.n = int64(rng.Intn(20_000) + 100)
+				case 1, 2:
+					op.off = rng.Intn(64 * 1024)
+					op.n = int64(rng.Intn(64) + 1)
+				case 3:
+					op.mutex = rng.Intn(p.mutexes)
+					op.off = rng.Intn(16) // slot within the mutex's page
+				}
+				p.ops[w][r] = append(p.ops[w][r], op)
+			}
+		}
+	}
+	return p
+}
+
+// build renders the generated program as a root function. Layout: worker
+// scratch at 0..64K (racy), mutex-protected counters at 128K (one page per
+// mutex), queue at 256K, results at 384K.
+func (p fuzzProgram) build() func(api.T) {
+	return func(root api.T) {
+		var mxs []api.Mutex
+		for i := 0; i < p.mutexes; i++ {
+			mxs = append(mxs, root.NewMutex())
+		}
+		bar := root.NewBarrier(p.workers)
+		var qm api.Mutex
+		var qNotEmpty, qNotFull api.Cond
+		if p.useQueue {
+			qm = root.NewMutex()
+			qNotEmpty = root.NewCond()
+			qNotFull = root.NewCond()
+		}
+		const qBase = 256 * 1024
+		qPut := func(t api.T, v uint64) {
+			t.Lock(qm)
+			for api.U64(t, qBase+8)-api.U64(t, qBase) == 4 {
+				t.Wait(qNotFull, qm)
+			}
+			tail := api.U64(t, qBase+8)
+			api.PutU64(t, qBase+24+8*int(tail%4), v)
+			api.PutU64(t, qBase+8, tail+1)
+			t.Signal(qNotEmpty)
+			t.Unlock(qm)
+		}
+		qGet := func(t api.T) (uint64, bool) {
+			t.Lock(qm)
+			defer t.Unlock(qm)
+			for {
+				head, tail := api.U64(t, qBase), api.U64(t, qBase+8)
+				if head != tail {
+					v := api.U64(t, qBase+24+8*int(head%4))
+					api.PutU64(t, qBase, head+1)
+					t.Signal(qNotFull)
+					return v, true
+				}
+				if api.U64(t, qBase+16) != 0 {
+					return 0, false
+				}
+				t.Wait(qNotEmpty, qm)
+			}
+		}
+
+		worker := func(w int) func(api.T) {
+			return func(t api.T) {
+				buf := make([]byte, 64)
+				for r := 0; r < p.rounds; r++ {
+					for _, op := range p.ops[w][r] {
+						switch op.kind {
+						case 0:
+							t.Compute(op.n)
+						case 1:
+							for i := range buf[:op.n] {
+								buf[i] = byte(w + r + i)
+							}
+							t.Write(buf[:op.n], op.off)
+						case 2:
+							t.Read(buf[:op.n], op.off)
+						case 3:
+							t.Lock(mxs[op.mutex])
+							api.AddU64(t, 128*1024+4096*op.mutex+8*op.off, uint64(w+1))
+							t.Unlock(mxs[op.mutex])
+						}
+					}
+					t.BarrierWait(bar)
+				}
+				// Queue roles: worker 0 produces, the rest consume.
+				if p.useQueue {
+					if w == 0 {
+						for i := 0; i < p.items; i++ {
+							qPut(t, uint64(i+1))
+						}
+						t.Lock(qm)
+						api.PutU64(t, qBase+16, 1)
+						t.Broadcast(qNotEmpty)
+						t.Unlock(qm)
+					} else {
+						var sum uint64
+						for {
+							v, ok := qGet(t)
+							if !ok {
+								break
+							}
+							sum += v
+						}
+						api.PutU64(t, 384*1024+8*w, sum)
+					}
+				}
+			}
+		}
+		var hs []api.Handle
+		for w := 1; w < p.workers; w++ {
+			hs = append(hs, root.Spawn(worker(w)))
+		}
+		worker(0)(root)
+		for _, h := range hs {
+			root.Join(h)
+		}
+	}
+}
+
+// checkDeterministic runs the program everywhere and compares.
+func checkDeterministic(t *testing.T, seed int64) {
+	t.Helper()
+	p := genFuzzProgram(seed)
+	prog := p.build()
+	type obs struct {
+		label string
+		sum   uint64
+		trace uint64
+	}
+	var all []obs
+	run := func(label string, h host.Host) {
+		c := det.Default()
+		c.SegmentSize = 1 << 20
+		rt, err := det.New(c, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(prog); err != nil {
+			t.Fatalf("seed %d %s: %v", seed, label, err)
+		}
+		all = append(all, obs{label, rt.Checksum(), rt.Trace().Hash()})
+	}
+	run("sim#1", simhost.New(costmodel.Default()))
+	run("sim#2", simhost.New(costmodel.Default()))
+	run("real#1", realhost.New(100*time.Microsecond, seed*3+1))
+	run("real#2", realhost.New(100*time.Microsecond, seed*7+5))
+	for _, o := range all[1:] {
+		if o.sum != all[0].sum || o.trace != all[0].trace {
+			t.Errorf("seed %d: %s (sum %x trace %x) != %s (sum %x trace %x) — program: %d workers, %d rounds, %d mutexes, queue=%v",
+				seed, o.label, o.sum, o.trace, all[0].label, all[0].sum, all[0].trace,
+				p.workers, p.rounds, p.mutexes, p.useQueue)
+			return
+		}
+	}
+}
+
+// TestFuzzDeterminismSeeds runs a fixed spread of generated programs.
+func TestFuzzDeterminismSeeds(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 3
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkDeterministic(t, seed)
+		})
+	}
+}
+
+// FuzzDeterminism is the native fuzz target: `go test -fuzz=FuzzDeterminism
+// ./internal/det` explores the program space; the seed corpus runs as part
+// of the normal test suite.
+func FuzzDeterminism(f *testing.F) {
+	for _, s := range []int64{1, 42, 12345} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkDeterministic(t, seed)
+	})
+}

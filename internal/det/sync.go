@@ -1,0 +1,332 @@
+package det
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/trace"
+)
+
+// dMutex is the deterministic mutex (§4.1). State is mutated only while
+// holding the global token. Unlike Kendo's polling locks, a loser blocks:
+// it departs from GMIC consideration, queues, and is re-armed for the
+// token by the unlocker (clock.ArriveWanting), so it wakes already holding
+// the token and retries — the paper's first blocking deterministic
+// mutex_lock().
+type dMutex struct {
+	id         uint64
+	locked     bool
+	owner      int
+	acquiredAt int64 // owner's clock at acquisition, for the CS-length EWMA
+	waiters    []int
+	csEWMA     ewma
+}
+
+func (*dMutex) ImplMutex() {}
+
+// dCond is the deterministic condition variable.
+type dCond struct {
+	id      uint64
+	waiters []int
+}
+
+func (*dCond) ImplCond() {}
+
+// dBarrier is the deterministic barrier with Conversion's parallel
+// two-phase commit (§4.2).
+type dBarrier struct {
+	id      uint64
+	parties int
+	waiting []int // tids blocked at the rendezvous, in arrival order
+}
+
+func (*dBarrier) ImplBarrier() {}
+
+// newObjID allocates a deterministic sync-object id: creation is
+// thread-local (as pthread_*_init is), so ids combine tid and a per-thread
+// counter.
+func (t *Thread) newObjID() uint64 {
+	t.objSeq++
+	return uint64(t.tid)<<32 | t.objSeq
+}
+
+// NewMutex implements api.T. Under SingleGlobalLock (the DThreads/DWC
+// locking model) every mutex is the same global lock.
+func (t *Thread) NewMutex() api.Mutex {
+	if t.rt.globalMutex != nil {
+		return t.rt.globalMutex
+	}
+	return &dMutex{id: t.newObjID(), owner: -1}
+}
+
+// NewCond implements api.T.
+func (t *Thread) NewCond() api.Cond { return &dCond{id: t.newObjID()} }
+
+// NewBarrier implements api.T.
+func (t *Thread) NewBarrier(parties int) api.Barrier {
+	if parties < 1 {
+		panic("det: barrier needs at least one party")
+	}
+	return &dBarrier{id: t.newObjID(), parties: parties}
+}
+
+// Lock implements api.T (Figure 7's mutexLock).
+func (t *Thread) Lock(mx api.Mutex) {
+	m := mx.(*dMutex)
+	t.syncOpStart()
+	for {
+		t.tokenBegin()
+		if !m.locked {
+			m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
+			t.record(trace.OpLock, m.id)
+			if h := t.rt.hooks; h != nil {
+				h.OnAcquire(t.tid, m.id)
+			}
+			break
+		}
+		if t.rt.cfg.PollingMutex {
+			// Kendo-style polling (§4.1's contrast): bump our clock out of
+			// GMIC contention, give up the token, and re-contend. Every
+			// failed attempt costs a full coordination round.
+			t.uncoarsen()
+			if bump := t.rt.cfg.PollingBump; bump > 0 {
+				t.icount += bump
+				t.deliver(t.rt.arb.Advance(t.tid, bump))
+			} else {
+				newCount, g := t.rt.arb.NudgePast(t.tid)
+				t.icount = newCount
+				t.deliver(g)
+			}
+			t.releaseTokenRaw()
+			continue
+		}
+		// Blocking path (the paper's contribution): queue, leave GMIC
+		// consideration, give up the token, and sleep until the unlocker
+		// re-arms us (we wake holding the token and retry).
+		m.waiters = append(m.waiters, t.tid)
+		t.uncoarsen()
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseTokenRaw()
+		t.blockForToken()
+	}
+	t.tokenEnd(coarsenLock, m.csEWMA.estimate())
+}
+
+// Unlock implements api.T (Figure 9's mutexUnlock). Unlike Kendo, unlock
+// must hold the token because it performs a commit.
+func (t *Thread) Unlock(mx api.Mutex) {
+	m := mx.(*dMutex)
+	t.syncOpStart()
+	t.tokenBegin()
+	t.unlockLocked(m, trace.OpUnlock)
+	t.tokenEnd(coarsenUnlock, t.unlockEstimator(m.id).estimate())
+	t.prevUnlockID = m.id
+}
+
+// unlockLocked releases m (token held) and re-arms the next waiter.
+func (t *Thread) unlockLocked(m *dMutex, op trace.Op) {
+	if !m.locked || m.owner != t.tid {
+		panic(fmt.Sprintf("det: tid %d unlocking mutex %d it does not hold (owner %d)", t.tid, m.id, m.owner))
+	}
+	m.csEWMA.update(float64(t.icount - m.acquiredAt))
+	m.locked, m.owner = false, -1
+	t.record(op, m.id)
+	if h := t.rt.hooks; h != nil {
+		h.OnRelease(t.tid, m.id)
+	}
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		// Re-arm: the waiter rejoins GMIC consideration wanting the token;
+		// it is granted (and thereby woken) in deterministic clock order
+		// once we release. Passing wanting-status on the waiter's behalf —
+		// rather than letting it race to request after a wake — is what
+		// makes the handoff deterministic (the paper's footnote 4).
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+}
+
+// Wait implements api.T: pthread_cond_wait. Atomically releases the mutex
+// and sleeps; on wake (signal + token grant) reacquires the mutex.
+func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
+	c := cx.(*dCond)
+	m := mx.(*dMutex)
+	t.syncOpStart()
+	t.tokenBegin()
+	t.uncoarsen() // cond ops terminate coarsened chunks (§3.1)
+	t.unlockLocked(m, trace.OpWait)
+	c.waiters = append(c.waiters, t.tid)
+	t.deliver(t.rt.arb.Depart(t.tid))
+	t.releaseTokenRaw()
+	t.blockForToken()
+	if h := t.rt.hooks; h != nil {
+		h.OnAcquire(t.tid, c.id)
+	}
+	// Reacquire the mutex; we already hold the token.
+	for m.locked {
+		m.waiters = append(m.waiters, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseTokenRaw()
+		t.blockForToken()
+	}
+	m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
+	t.record(trace.OpLock, m.id)
+	if h := t.rt.hooks; h != nil {
+		h.OnAcquire(t.tid, m.id)
+	}
+	t.tokenEnd(coarsenNever, 0)
+}
+
+// Signal implements api.T: wake (re-arm) the longest-waiting thread.
+func (t *Thread) Signal(cx api.Cond) {
+	c := cx.(*dCond)
+	t.syncOpStart()
+	t.tokenBegin()
+	t.uncoarsen()
+	t.record(trace.OpSignal, c.id)
+	if h := t.rt.hooks; h != nil {
+		h.OnRelease(t.tid, c.id)
+	}
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	t.tokenEnd(coarsenNever, 0)
+}
+
+// Broadcast implements api.T: wake all waiters.
+func (t *Thread) Broadcast(cx api.Cond) {
+	c := cx.(*dCond)
+	t.syncOpStart()
+	t.tokenBegin()
+	t.uncoarsen()
+	t.record(trace.OpBcast, c.id)
+	if h := t.rt.hooks; h != nil {
+		h.OnRelease(t.tid, c.id)
+	}
+	for _, w := range c.waiters {
+		t.deliver(t.rt.arb.ArriveWanting(w))
+	}
+	c.waiters = nil
+	t.tokenEnd(coarsenNever, 0)
+}
+
+// BarrierWait implements api.T (§4.2). With ParallelBarrier enabled,
+// commits use Conversion's two-phase protocol: the serial ordering phase
+// runs under the token, the expensive page merging runs after the token is
+// released and overlaps across arrivals. Every participant leaves the
+// barrier with a view of the same segment version.
+func (t *Thread) BarrierWait(bx api.Barrier) {
+	bar := bx.(*dBarrier)
+	t.syncOpStart()
+	if !t.holding {
+		t.acquireToken()
+		t.mimdAdapt()
+	}
+	t.coarse.active = false // barrier terminates coarsening; commit below
+	t.record(trace.OpBarrier, bar.id)
+	m := &t.rt.cfg.Model
+
+	if bar.parties == 1 {
+		t.commitAndUpdate()
+		if h := t.rt.hooks; h != nil {
+			h.OnRelease(t.tid, bar.id)
+			h.OnAcquire(t.tid, bar.id)
+		}
+		t.releaseTokenRaw()
+		return
+	}
+
+	last := len(bar.waiting) == bar.parties-1
+	if t.rt.cfg.ParallelBarrier {
+		t.account(&t.bd.localWork)
+		pc := t.ws.BeginCommit()
+		st := pc.Stats()
+		t.charge(&t.bd.commit, m.CommitFixed+
+			int64(st.CommittedPages)*m.CommitPageSerial+
+			int64(st.PulledPages)*m.UpdatePage)
+		if h := t.rt.hooks; h != nil {
+			h.OnCommit(t.tid, pc.Version())
+			h.OnRelease(t.tid, bar.id) // entry edge: after the commit
+		}
+		if !last {
+			bar.waiting = append(bar.waiting, t.tid)
+			t.deliver(t.rt.arb.Depart(t.tid))
+			t.releaseTokenRaw()
+			// Phase 2 runs outside the token, in parallel with other
+			// arrivals' merges and with threads not in the barrier.
+			t.charge(&t.bd.commit, int64(st.CommittedPages)*m.CommitPageMerge)
+			pc.Complete()
+			t.barrierSleep(bar)
+			return
+		}
+		// Last arrival: finish our merge, then release everyone at one
+		// deterministic version.
+		t.charge(&t.bd.commit, int64(st.CommittedPages)*m.CommitPageMerge)
+		pc.Complete()
+		t.rt.seg.CompleteThrough(t.rt.seg.Head())
+		t.barrierRelease(bar)
+	} else {
+		// Serial barrier: the whole commit (ordering + merge) happens
+		// under the token, arrival by arrival.
+		t.commitAndUpdate()
+		if h := t.rt.hooks; h != nil {
+			h.OnRelease(t.tid, bar.id)
+		}
+		if !last {
+			bar.waiting = append(bar.waiting, t.tid)
+			t.deliver(t.rt.arb.Depart(t.tid))
+			t.releaseTokenRaw()
+			t.barrierSleep(bar)
+			return
+		}
+		t.barrierRelease(bar)
+	}
+}
+
+// barrierSleep parks at the rendezvous and, once released, advances the
+// view to the barrier's final version. The exit hooks for sleepers are
+// fired by the releasing arrival (token-held, deterministic) — not here,
+// where the token is not held.
+func (t *Thread) barrierSleep(bar *dBarrier) {
+	m := &t.rt.cfg.Model
+	t.account(&t.bd.commit)
+	t.b.Block()
+	t.account(&t.bd.barrierWait)
+	t.resyncClock()
+	pulled := t.ws.UpdateTo(t.barrierTarget)
+	t.charge(&t.bd.commit, int64(pulled)*m.UpdatePage)
+	t.lastCommitCount = t.icount
+}
+
+// barrierRelease (token held, called by the last arrival) fixes the
+// barrier's final version, updates our own view, re-admits all waiters to
+// clock consideration, wakes them, and releases the token.
+func (t *Thread) barrierRelease(bar *dBarrier) {
+	m := &t.rt.cfg.Model
+	final := t.rt.seg.Head()
+	pulled := t.ws.UpdateTo(final)
+	t.charge(&t.bd.commit, int64(pulled)*m.UpdatePage)
+	t.lastCommitCount = t.icount
+	if h := t.rt.hooks; h != nil {
+		h.OnUpdate(t.tid, t.ws.Version())
+		h.OnAcquire(t.tid, bar.id)
+	}
+	waiters := bar.waiting
+	bar.waiting = nil // reset for barrier reuse
+	for _, w := range waiters {
+		wt := t.rt.lookup(w)
+		// Record the release version per waiter before waking: a reused
+		// barrier may start its next round before this round's waiters
+		// have run, and they must not observe the next round's version.
+		wt.barrierTarget = final
+		if h := t.rt.hooks; h != nil {
+			h.OnUpdate(w, final)
+			h.OnAcquire(w, bar.id)
+		}
+		t.deliver(t.rt.arb.Arrive(w))
+		t.b.Wake(wt.b)
+	}
+	t.releaseTokenRaw()
+}

@@ -1,0 +1,424 @@
+package det
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/clock"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// breakdown accumulates per-category time for Figure 15. Values are
+// nanoseconds between accounting boundaries (virtual on the simulation
+// host, wall on the real host).
+type breakdown struct {
+	localWork   int64
+	determWait  int64
+	barrierWait int64
+	commit      int64
+	fault       int64
+	lib         int64
+}
+
+// Thread is one deterministic thread. It implements api.T; all methods
+// must be called by the owning thread.
+type Thread struct {
+	rt  *Runtime
+	tid int
+	b   host.Binding
+	ws  *mem.Workspace
+
+	// icount mirrors the arbiter's clock for this thread. It is advanced
+	// locally on every compute/memory operation and resynchronized from
+	// the arbiter after every wake (release increments and fast-forwards
+	// happen arbiter-side).
+	icount   int64
+	overflow *clock.Overflow
+	// pending is locally retired but not yet published progress (timed
+	// hosts publish only at overflow boundaries and chunk ends, like the
+	// hardware counter the runtime models); toOverflow counts instructions
+	// until the next overflow.
+	pending    int64
+	toOverflow int64
+
+	holding bool // holds the global token
+
+	coarse          coarsenState
+	lastSyncIcount  int64
+	lastCommitCount int64 // icount at last commit (ad-hoc chunk limit)
+	// prevUnlockID records which mutex the previous sync op unlocked (0 =
+	// previous op was not an unlock), so the chunk now ending can train
+	// the matching unlock estimate. The paper keeps one thread-local
+	// estimate for unlock coarsening (§3.1); we refine it to
+	// per-(thread, mutex), because a pipeline thread's post-unlock chunk
+	// length depends on which queue lock it released — a single estimate
+	// mixes a long processing chunk with a tiny loop-back chunk and
+	// mispredicts both (see DESIGN.md).
+	prevUnlockID uint64
+	unlockEWMA   map[uint64]*ewma
+
+	bd        breakdown
+	lastEvent int64 // host time at the last accounting boundary
+
+	syncOps      int64
+	coarsenedOps int64
+
+	// exit/join state, token-serialized
+	done    bool
+	joiners []int
+
+	// barrierTarget is the version this thread must update to when it
+	// leaves a barrier; written by the releasing (last) arrival before the
+	// wake, per-thread so that barrier reuse cannot leak a later round's
+	// version to an earlier round's waiter.
+	barrierTarget int64
+
+	// objSeq allocates deterministic sync-object ids local to this thread.
+	objSeq uint64
+}
+
+// start binds the thread to its host context; first thing run on the
+// thread's goroutine/proc.
+func (t *Thread) start(b host.Binding) {
+	t.b = b
+	t.lastEvent = b.Now()
+}
+
+// Tid implements api.T.
+func (t *Thread) Tid() int { return t.tid }
+
+// account closes the current accounting interval into *cat.
+func (t *Thread) account(cat *int64) {
+	now := t.b.Now()
+	*cat += now - t.lastEvent
+	t.lastEvent = now
+}
+
+// charge elapses modeled time and accounts it to *cat.
+func (t *Thread) charge(cat *int64, ns int64) {
+	if ns > 0 {
+		t.b.Charge(ns)
+	}
+	t.account(cat)
+}
+
+// deliver wakes the thread granted by an arbiter result.
+func (t *Thread) deliver(grant int) {
+	if grant == clock.NoGrant {
+		return
+	}
+	if grant == t.tid {
+		panic(fmt.Sprintf("det: tid %d delivered a grant to itself", t.tid))
+	}
+	t.rt.deliverFrom(t.b, grant)
+}
+
+// Compute implements api.T: retire n instructions of local work.
+func (t *Thread) Compute(n int64) {
+	if n < 0 {
+		panic("det: negative compute")
+	}
+	t.advance(n)
+	t.maybeForceCommit()
+}
+
+// advance retires n instructions. On a timed host the clock is published
+// to the arbiter only at counter-overflow boundaries (§3.2) — each
+// overflow costs an interrupt and is the moment a waiting thread can learn
+// it has become the GMIC — and at chunk ends (publishPending); in between,
+// progress accumulates locally like an unread hardware counter. Untimed
+// hosts publish every operation (latency is real there, not modeled).
+//
+// Advancing also enforces the adaptive-coarsening budget: if a coarsened
+// chunk turns out to be longer than the estimate that justified it
+// (the paper's "the next chunk is very long (which cannot be known ahead
+// of time)" hazard), the token is released at the budget boundary instead
+// of serializing every other thread for the rest of the chunk.
+func (t *Thread) advance(n int64) {
+	if n == 0 {
+		return
+	}
+	if n < 0 {
+		panic("det: negative advance")
+	}
+	m := &t.rt.cfg.Model
+	rem := n
+	for rem > 0 {
+		step := rem
+		// Coarsened-chunk budget boundary (adaptive mode only; decisions
+		// depend only on instruction counts, so they are host-independent
+		// and deterministic).
+		overBudget := false
+		if t.holding && t.coarse.active && t.rt.cfg.StaticLevel == 0 {
+			budget := t.coarse.startIcount + t.coarse.maxChunk - t.icount
+			if budget <= 0 {
+				overBudget = true
+				budget = 0
+			} else if budget < step {
+				step = budget
+				overBudget = true
+			}
+		}
+		if step > 0 {
+			if t.rt.timed {
+				// Split at overflow boundaries.
+				if t.toOverflow <= 0 && t.rt.cfg.Policy == clock.PolicyIC {
+					t.toOverflow = t.overflow.Next(t.tid, t.icount, t.rt.arb)
+				}
+				if t.rt.cfg.Policy == clock.PolicyIC && t.toOverflow < step {
+					step = t.toOverflow
+					overBudget = false // re-evaluate next round
+				}
+				t.charge(&t.bd.localWork, m.Instr(step))
+				t.icount += step
+				t.pending += step
+				t.toOverflow -= step
+				if t.toOverflow == 0 && t.rt.cfg.Policy == clock.PolicyIC {
+					t.publishPending()
+					t.charge(&t.bd.lib, m.OverflowIRQ)
+				}
+			} else {
+				t.icount += step
+				t.deliver(t.rt.arb.Advance(t.tid, step))
+			}
+			rem -= step
+		}
+		if overBudget && t.holding && t.coarse.active {
+			// End the coarsened chunk mid-stream: publish and hand the
+			// token back.
+			t.coarse.active = false
+			t.commitAndUpdate()
+			t.releaseTokenRaw()
+		}
+	}
+}
+
+// publishPending pushes locally accumulated clock progress to the arbiter.
+func (t *Thread) publishPending() {
+	if t.pending > 0 {
+		p := t.pending
+		t.pending = 0
+		t.deliver(t.rt.arb.Advance(t.tid, p))
+	}
+}
+
+// maybeForceCommit implements the ad-hoc synchronization bound (§2.7).
+func (t *Thread) maybeForceCommit() {
+	limit := t.rt.cfg.ChunkLimit
+	if limit <= 0 || t.icount-t.lastCommitCount < limit {
+		return
+	}
+	t.tokenBegin()
+	t.tokenEnd(coarsenNever, 0)
+}
+
+// memInstr models the retired instructions of an n-byte memory operation.
+func memInstr(n int) int64 { return 2 + int64(n+7)/8 }
+
+// Read implements api.T.
+func (t *Thread) Read(buf []byte, off int) {
+	t.ws.Read(buf, off)
+	t.advance(memInstr(len(buf)))
+}
+
+// Write implements api.T.
+func (t *Thread) Write(data []byte, off int) {
+	t.ws.Write(data, off)
+	if f := t.ws.TakeFaults(); f > 0 {
+		t.account(&t.bd.localWork)
+		t.charge(&t.bd.fault, f*t.rt.cfg.Model.PageFault)
+	}
+	t.advance(memInstr(len(data)))
+	t.maybeForceCommit()
+}
+
+// --- token protocol ---
+
+// acquireToken blocks until this thread holds the global token. Must not
+// already hold it.
+func (t *Thread) acquireToken() {
+	m := &t.rt.cfg.Model
+	t.publishPending()
+	t.account(&t.bd.localWork)
+	// End-of-chunk clock read (syscall path; the user-space fast path
+	// applies only inside coarsened chunks, see tokenBegin).
+	t.charge(&t.bd.lib, m.SyscallClockRead)
+	if g := t.rt.arb.Request(t.tid); g != t.tid {
+		t.deliver(g)
+		t.b.Block()
+		t.resyncClock()
+	}
+	t.holding = true
+	t.account(&t.bd.determWait)
+	t.charge(&t.bd.lib, m.TokenHandoff)
+	t.overflow.ResetChunk()
+	t.toOverflow = 0
+}
+
+// releaseTokenRaw gives up the token without committing. The arbiter
+// advances our clock by one (the sync op itself); mirror it.
+func (t *Thread) releaseTokenRaw() {
+	t.publishPending()
+	t.holding = false
+	t.icount++
+	t.deliver(t.rt.arb.Release(t.tid))
+}
+
+// resyncClock refreshes the local clock mirror after a wake: arbiter-side
+// fast-forwards and release increments may have moved it. Pending progress
+// must already have been published (we only block after a release).
+func (t *Thread) resyncClock() {
+	if t.pending != 0 {
+		panic("det: unpublished clock progress across a block")
+	}
+	t.icount = t.rt.arb.Count(t.tid)
+}
+
+// blockForToken parks until a grant wakes us holding the token. The caller
+// must already have departed and released.
+func (t *Thread) blockForToken() {
+	t.b.Block()
+	t.resyncClock()
+	t.holding = true
+	t.account(&t.bd.determWait)
+	t.charge(&t.bd.lib, t.rt.cfg.Model.TokenHandoff)
+	t.overflow.ResetChunk()
+	t.toOverflow = 0
+	// Acquire semantics: import everything committed while we slept.
+	t.commitAndUpdate()
+}
+
+// tokenBegin enters the global coordination phase: acquire the token (if
+// not coarsening through it), adapt the MIMD max-chunk, and commit+update.
+func (t *Thread) tokenBegin() {
+	if t.holding {
+		// Inside a coarsened chunk: the token never left us, remote commits
+		// are impossible, so no commit/update is needed. Pay the chunk-end
+		// clock read — user-space if the optimization is on (§3.4).
+		m := &t.rt.cfg.Model
+		cost := m.SyscallClockRead
+		if t.rt.cfg.UserspaceClockRead {
+			cost = m.UserClockRead
+		}
+		t.account(&t.bd.localWork)
+		t.charge(&t.bd.lib, cost)
+		return
+	}
+	t.acquireToken()
+	t.mimdAdapt()
+	t.commitAndUpdate()
+}
+
+// tokenEnd leaves the coordination phase: either keep holding the token
+// (coarsening) or commit any deferred writes and release.
+func (t *Thread) tokenEnd(kind coarsenKind, nextEstimate int64) {
+	if t.maybeCoarsen(kind, nextEstimate) {
+		t.coarsenedOps++
+		return
+	}
+	if t.coarse.active {
+		t.coarse.active = false
+		t.commitAndUpdate() // publish writes deferred during the chunk
+	}
+	t.releaseTokenRaw()
+}
+
+// uncoarsen force-ends a coarsened chunk while still holding the token,
+// publishing deferred writes. Used by operations that terminate coarsening
+// (cond, barrier, join, exit) on entry.
+func (t *Thread) uncoarsen() {
+	if t.coarse.active {
+		t.coarse.active = false
+		t.commitAndUpdate()
+	}
+}
+
+// commitAndUpdate publishes the workspace's dirty pages as a new version
+// and advances the view past all remote commits (the paper's
+// convCommitAndUpdateMem). Must hold the token: commit order is the
+// deterministic total order.
+func (t *Thread) commitAndUpdate() {
+	if !t.holding {
+		panic("det: commit without token")
+	}
+	m := &t.rt.cfg.Model
+	t.account(&t.bd.localWork)
+	pc := t.ws.BeginCommit()
+	st := pc.Stats()
+	cost := m.CommitFixed +
+		int64(st.CommittedPages)*m.CommitPageSerial +
+		int64(st.PulledPages)*m.UpdatePage
+	t.b.Charge(cost)
+	pc.Complete()
+	t.b.Charge(int64(st.CommittedPages) * m.CommitPageMerge)
+	t.account(&t.bd.commit)
+	t.lastCommitCount = t.icount
+	if h := t.rt.hooks; h != nil {
+		h.OnCommit(t.tid, pc.Version())
+		h.OnUpdate(t.tid, t.ws.Version())
+	}
+	t.rt.commitCount++
+	if n := t.rt.cfg.GCEveryNCommits; n > 0 && t.rt.commitCount%int64(n) == 0 {
+		t.rt.seg.GC()
+	}
+}
+
+// record emits a trace event at the thread's current clock.
+func (t *Thread) record(op trace.Op, obj uint64) {
+	t.rt.rec.Record(t.tid, op, obj, t.icount)
+}
+
+// syncOpStart updates per-thread chunk statistics at the start of every
+// synchronization operation. Unlock estimates only learn from chunks that
+// followed an unlock of the matching mutex — the case they are consulted
+// for.
+func (t *Thread) syncOpStart() {
+	chunk := t.icount - t.lastSyncIcount
+	if t.prevUnlockID != 0 {
+		t.unlockEstimator(t.prevUnlockID).update(float64(chunk))
+		t.prevUnlockID = 0
+	}
+	t.lastSyncIcount = t.icount
+	t.syncOps++
+}
+
+// unlockEstimator returns this thread's post-unlock chunk estimator for
+// the given mutex.
+func (t *Thread) unlockEstimator(mutexID uint64) *ewma {
+	if t.unlockEWMA == nil {
+		t.unlockEWMA = make(map[uint64]*ewma)
+	}
+	e, ok := t.unlockEWMA[mutexID]
+	if !ok {
+		e = &ewma{}
+		t.unlockEWMA[mutexID] = e
+	}
+	return e
+}
+
+// mimdAdapt implements the multiplicative-increase, multiplicative-decrease
+// max-chunk policy (§3.1): consecutive coordination entries by the same
+// thread double its budget; interleaved entries halve it. Token-held.
+func (t *Thread) mimdAdapt() {
+	cfg := &t.rt.cfg
+	if !cfg.Coarsening || cfg.StaticLevel >= 2 {
+		return
+	}
+	c := &t.coarse
+	if t.rt.lastCoordTid == t.tid {
+		c.maxChunk *= 2
+		if c.maxChunk > cfg.MaxChunkCap {
+			c.maxChunk = cfg.MaxChunkCap
+		}
+	} else {
+		c.maxChunk /= 2
+		if c.maxChunk < cfg.MaxChunkFloor {
+			c.maxChunk = cfg.MaxChunkFloor
+		}
+	}
+	t.rt.lastCoordTid = t.tid
+}
+
+var _ api.T = (*Thread)(nil)

@@ -1,0 +1,146 @@
+package det
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/host"
+	"repro/internal/trace"
+)
+
+// Spawn implements api.T: create a new deterministic thread. Thread
+// creation is a synchronization operation: it runs under the token, so the
+// child's tid, starting clock (the parent's clock) and memory view (the
+// parent's just-committed state) are all deterministic.
+//
+// With the thread pool enabled (§3.3), a finished thread's workspace is
+// reused instead of forked: the expensive page-table copy becomes a cheap
+// view update. The modeled fork cost scales with the segment's populated
+// pages, exactly the effect the paper describes.
+func (t *Thread) Spawn(fn func(api.T)) api.Handle {
+	rt := t.rt
+	m := &rt.cfg.Model
+	t.syncOpStart()
+	t.tokenBegin() // commits our writes: the child must see them
+	t.uncoarsen()
+
+	tid := rt.nextTid
+	rt.nextTid++
+	t.record(trace.OpSpawn, uint64(tid))
+	if h := rt.hooks; h != nil {
+		h.OnRelease(t.tid, spawnObj(tid))
+	}
+
+	var child *Thread
+	reused := false
+	rt.mu.Lock()
+	nPooled := len(rt.pool)
+	rt.mu.Unlock()
+	if rt.cfg.ThreadPool && nPooled > 0 {
+		rt.mu.Lock()
+		ws := rt.pool[len(rt.pool)-1]
+		rt.pool = rt.pool[:len(rt.pool)-1]
+		rt.mu.Unlock()
+		if err := rt.seg.Rebind(ws, tid); err != nil {
+			panic(fmt.Sprintf("det: pool rebind: %v", err))
+		}
+		t.account(&t.bd.localWork)
+		pulled := ws.UpdateTo(rt.seg.Head())
+		t.charge(&t.bd.lib, m.PoolReuse+int64(pulled)*m.UpdatePage)
+		child = rt.attachThread(tid, t.icount, ws)
+		reused = true
+	} else {
+		// Fork: every populated page-table entry is copied into the child.
+		t.account(&t.bd.localWork)
+		t.charge(&t.bd.lib, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
+		var err error
+		child, err = rt.newThread(tid, t.icount)
+		if err != nil {
+			panic(fmt.Sprintf("det: spawn: %v", err))
+		}
+	}
+	rt.noteSpawn(reused)
+	if h := rt.hooks; h != nil {
+		h.OnSpawn(t.tid, tid)
+	}
+	rt.h.Go(fmt.Sprintf("t%d", tid), t.b, func(b host.Binding) {
+		child.start(b)
+		rt.threadMain(child, fn)
+	})
+	t.tokenEnd(coarsenNever, 0)
+	return child
+}
+
+// spawnObj derives the hook object id for a spawn/exit edge of a tid.
+func spawnObj(tid int) uint64 { return 1<<63 | uint64(tid) }
+
+// ImplHandle marks Thread as an api.Handle.
+func (t *Thread) ImplHandle() {}
+
+// Join implements api.T: block until the child thread has exited.
+func (t *Thread) Join(h api.Handle) {
+	child, ok := h.(*Thread)
+	if !ok {
+		panic("det: foreign handle")
+	}
+	t.syncOpStart()
+	for {
+		t.tokenBegin()
+		t.uncoarsen()
+		if child.done {
+			t.record(trace.OpJoin, uint64(child.tid))
+			if hk := t.rt.hooks; hk != nil {
+				hk.OnAcquire(t.tid, spawnObj(child.tid))
+				hk.OnUpdate(t.tid, t.ws.Version())
+			}
+			t.tokenEnd(coarsenNever, 0)
+			return
+		}
+		child.joiners = append(child.joiners, t.tid)
+		t.deliver(t.rt.arb.Depart(t.tid))
+		t.releaseTokenRaw()
+		t.blockForToken()
+		// Woken holding the token; loop re-checks done (guaranteed now).
+	}
+}
+
+// exit finishes a thread: commit final writes, wake joiners, recycle or
+// release the workspace, fold statistics, and leave the clock order.
+func (t *Thread) exit() {
+	rt := t.rt
+	t.syncOpStart()
+	t.tokenBegin() // commits final writes
+	t.uncoarsen()
+	t.done = true
+	t.record(trace.OpExit, uint64(t.tid))
+	if h := rt.hooks; h != nil {
+		h.OnRelease(t.tid, spawnObj(t.tid))
+	}
+	for _, j := range t.joiners {
+		t.deliver(rt.arb.ArriveWanting(j))
+	}
+	t.joiners = nil
+
+	rt.mu.Lock()
+	poolIt := rt.cfg.ThreadPool && len(rt.pool) < rt.cfg.PoolCap
+	rt.mu.Unlock()
+	if poolIt {
+		// Keep the workspace for reuse. Its snapshot stays at the current
+		// head, pinning later versions until reuse — the realistic memory
+		// cost of pooling.
+		t.ws.UpdateTo(rt.seg.Head())
+		rt.mu.Lock()
+		rt.pool = append(rt.pool, t.ws)
+		rt.mu.Unlock()
+	} else {
+		rt.seg.Release(t.ws)
+	}
+
+	t.account(&t.bd.localWork)
+	rt.aggregate(t)
+	t.releaseTokenRaw()
+	t.deliver(rt.arb.Unregister(t.tid))
+	rt.mu.Lock()
+	delete(rt.threads, t.tid)
+	rt.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/det"
+)
+
+// Supplementary studies beyond the paper's numbered figures: ablations of
+// design choices the paper argues qualitatively (blocking vs polling
+// mutexes, the §2.7 chunk limit, the single-threaded collector budget).
+// Regenerate with `consequence-bench -table <name>`.
+
+// TablePolling compares the paper's blocking deterministic mutex against
+// the Kendo-style polling acquisition it replaces (§4.1), across the
+// lock-heavy benchmarks. Polling is swept over Kendo's tuning knob (the
+// clock bump per failed attempt) plus the self-tuning nudge (bump 0).
+func TablePolling(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	benches := []string{"reverse_index", "word_count", "water_nsquared", "dedup"}
+	bumps := []int64{0, 1_000, 10_000, 100_000}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		data[bench] = map[string]int64{}
+		blocking, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, "", err
+		}
+		data[bench]["blocking"] = blocking.WallNS
+		line := []string{bench, ms(blocking.WallNS)}
+		for _, bump := range bumps {
+			bump := bump
+			r, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed,
+				Modify: func(c *det.Config) {
+					c.PollingMutex = true
+					c.PollingBump = bump
+				},
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			key := fmt.Sprintf("polling-%d", bump)
+			data[bench][key] = r.WallNS
+			line = append(line, ms(r.WallNS))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark", "blocking"}
+	for _, bump := range bumps {
+		if bump == 0 {
+			header = append(header, "poll-nudge")
+		} else {
+			header = append(header, fmt.Sprintf("poll-%d", bump))
+		}
+	}
+	text := "Blocking vs Kendo-style polling mutexes (ms, 8 threads, lower is better)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// TableChunkLimit sweeps the §2.7 ad-hoc-synchronization chunk limit: the
+// forced periodic commits tax programs that do not need them — the reason
+// the paper evaluates with the mechanism disabled.
+func TableChunkLimit(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	benches := []string{"string_match", "swaptions", "canneal", "reverse_index"}
+	limits := []int64{0, 10_000_000, 1_000_000, 100_000, 20_000}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		data[bench] = map[string]int64{}
+		line := []string{bench}
+		for _, limit := range limits {
+			limit := limit
+			r, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed,
+				Modify: func(c *det.Config) { c.ChunkLimit = limit },
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			key := fmt.Sprintf("limit-%d", limit)
+			data[bench][key] = r.WallNS
+			line = append(line, ms(r.WallNS))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark"}
+	for _, limit := range limits {
+		if limit == 0 {
+			header = append(header, "disabled")
+		} else {
+			header = append(header, fmt.Sprintf("%d", limit))
+		}
+	}
+	text := "Ad-hoc synchronization chunk limit sweep (ms, 8 threads; §2.7 — lower limits mean more forced commits)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// TablePageSize sweeps the isolation granularity: smaller pages mean more
+// copy-on-write faults but less false sharing (fewer byte-granularity
+// merges and less propagation); larger pages amortize faults but inflate
+// conflicts. The paper inherits the hardware's 4 KiB; the substrate here
+// makes the trade-off measurable.
+func TablePageSize(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	benches := []string{"canneal", "lu_ncb", "ocean_cp", "word_count"}
+	sizes := []int{1024, 4096, 16384}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		data[bench] = map[string]int64{}
+		line := []string{bench}
+		for _, size := range sizes {
+			size := size
+			r, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed,
+				Modify: func(c *det.Config) { c.PageSize = size },
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			key := fmt.Sprintf("page-%d", size)
+			data[bench][key] = r.WallNS
+			line = append(line, fmt.Sprintf("%s (%d merged, %d faults)",
+				ms(r.WallNS), r.Stats.MergedPages, r.Stats.Faults))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark"}
+	for _, size := range sizes {
+		header = append(header, fmt.Sprintf("%dB pages", size))
+	}
+	text := "Isolation granularity: runtime (ms) with merged-page and fault counts vs page size (8 threads)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// TableLRC runs the deterministic-LRC runtime (internal/baseline/rfdet)
+// against Consequence-IC — the comparison the paper's footnote 5 could
+// not make. §6 predicts LRC helps exactly the fine-grained-locking
+// programs (commits become per-object, point-to-point) and §2.3 predicts
+// it costs space; both columns are here.
+func TableLRC(s Sweep) (map[string]map[string]int64, string, error) {
+	benches := []string{"reverse_index", "word_count", "water_nsquared", "dedup", "ferret", "canneal", "ocean_cp"}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		data[bench] = map[string]int64{}
+		line := []string{bench}
+		for _, th := range []int{8, 32} {
+			tso, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: th, Scale: s.Scale, Seed: s.Seed})
+			if err != nil {
+				return nil, "", err
+			}
+			lrc, err := Run(Options{Bench: bench, Runtime: KindRFDet, Threads: th, Scale: s.Scale, Seed: s.Seed})
+			if err != nil {
+				return nil, "", err
+			}
+			data[bench][fmt.Sprintf("tso-%d", th)] = tso.WallNS
+			data[bench][fmt.Sprintf("lrc-%d", th)] = lrc.WallNS
+			line = append(line, ms(tso.WallNS), ms(lrc.WallNS),
+				fmt.Sprintf("%.2fx", float64(tso.WallNS)/float64(lrc.WallNS)),
+				fmt.Sprint(lrc.Stats.PeakPages))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark",
+		"tso@8(ms)", "lrc@8(ms)", "tso/lrc@8", "lrc-retained@8(pg)",
+		"tso@32(ms)", "lrc@32(ms)", "tso/lrc@32", "lrc-retained@32(pg)"}
+	text := "TSO (Consequence-IC) vs an actual deterministic-LRC runtime (rfdet); ratios > 1 mean LRC wins\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// Tables maps table names to their generators (the -table CLI flag).
+var Tables = map[string]func(Sweep) (map[string]map[string]int64, string, error){
+	"polling":    TablePolling,
+	"chunklimit": TableChunkLimit,
+	"pagesize":   TablePageSize,
+	"lrc":        TableLRC,
+}

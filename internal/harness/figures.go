@@ -1,0 +1,432 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/det"
+	"repro/internal/workload"
+)
+
+// Sweep configures a figure regeneration.
+type Sweep struct {
+	// Threads is the thread-count axis (Figure 10 takes the best over it).
+	Threads []int
+	Scale   int
+	Seed    int64
+}
+
+// DefaultSweep mirrors the paper's 2–32 thread sweep.
+func DefaultSweep() Sweep {
+	return Sweep{Threads: []int{2, 4, 8, 16, 32}, Scale: 1, Seed: 42}
+}
+
+func (s Sweep) threads() []int {
+	if len(s.Threads) == 0 {
+		return []int{2, 4, 8}
+	}
+	return s.Threads
+}
+
+func renderTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+
+// Fig10Row is one benchmark's normalized best-runtime slowdowns.
+type Fig10Row struct {
+	Bench    string
+	PthNS    int64
+	Slowdown map[Kind]float64 // best runtime / best pthreads
+}
+
+// Fig10 reproduces Figure 10: best runtime over the thread sweep for each
+// deterministic runtime, normalized to the best pthreads runtime.
+func Fig10(s Sweep) ([]Fig10Row, string, error) {
+	var rows []Fig10Row
+	for _, spec := range workload.All() {
+		base := Options{Bench: spec.Name, Scale: s.Scale, Seed: s.Seed}
+		bp := base
+		bp.Runtime = KindPthreads
+		pb, err := BestOver(bp, s.threads())
+		if err != nil {
+			return nil, "", err
+		}
+		row := Fig10Row{Bench: spec.Name, PthNS: pb.WallNS, Slowdown: map[Kind]float64{}}
+		for _, k := range DetKinds {
+			bo := base
+			bo.Runtime = k
+			rb, err := BestOver(bo, s.threads())
+			if err != nil {
+				return nil, "", err
+			}
+			row.Slowdown[k] = float64(rb.WallNS) / float64(pb.WallNS)
+		}
+		rows = append(rows, row)
+	}
+
+	var out [][]string
+	maxByKind := map[Kind]float64{}
+	for _, r := range rows {
+		line := []string{r.Bench, ms(r.PthNS)}
+		for _, k := range DetKinds {
+			line = append(line, fmt.Sprintf("%.2fx", r.Slowdown[k]))
+			if r.Slowdown[k] > maxByKind[k] {
+				maxByKind[k] = r.Slowdown[k]
+			}
+		}
+		out = append(out, line)
+	}
+	header := []string{"benchmark", "pth(ms)"}
+	for _, k := range DetKinds {
+		header = append(header, string(k))
+	}
+	text := "Figure 10: best runtime normalized to best pthreads (lower is better)\n" +
+		renderTable(header, out)
+	text += "max slowdown:"
+	for _, k := range DetKinds {
+		text += fmt.Sprintf("  %s=%.2fx", k, maxByKind[k])
+	}
+	text += "\n"
+
+	// The paper's headline: Consequence-IC improvement over DThreads and
+	// DWC on the five most challenging benchmarks (highest Consequence-IC
+	// slowdowns).
+	sorted := append([]Fig10Row(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Slowdown[KindConsequenceIC] > sorted[j].Slowdown[KindConsequenceIC]
+	})
+	hard := sorted[:5]
+	gm := func(k Kind) float64 {
+		prod := 1.0
+		for _, r := range hard {
+			prod *= r.Slowdown[k] / r.Slowdown[KindConsequenceIC]
+		}
+		return math.Pow(prod, 1.0/float64(len(hard)))
+	}
+	var names []string
+	for _, r := range hard {
+		names = append(names, r.Bench)
+	}
+	text += fmt.Sprintf("five hardest (%s): consequence-ic is %.1fx better than dthreads, %.1fx better than dwc\n",
+		strings.Join(names, ", "), gm(KindDThreads), gm(KindDWC))
+	return rows, text, nil
+}
+
+// Fig11Benches are the six benchmarks whose thread scaling Figure 11
+// examines (the DThreads/DWC collapse cases).
+var Fig11Benches = []string{"ocean_cp", "lu_ncb", "ferret", "kmeans", "water_nsquared", "canneal"}
+
+// Fig11 reproduces Figure 11: runtime vs thread count.
+func Fig11(s Sweep) (map[string]map[int]map[Kind]int64, string, error) {
+	kinds := append([]Kind{KindPthreads}, DetKinds...)
+	data := map[string]map[int]map[Kind]int64{}
+	text := "Figure 11: runtime (ms) vs thread count\n"
+	for _, bench := range Fig11Benches {
+		data[bench] = map[int]map[Kind]int64{}
+		var rows [][]string
+		for _, th := range s.threads() {
+			data[bench][th] = map[Kind]int64{}
+			line := []string{fmt.Sprint(th)}
+			var opts []Options
+			for _, k := range kinds {
+				opts = append(opts, Options{Bench: bench, Runtime: k, Threads: th, Scale: s.Scale, Seed: s.Seed})
+			}
+			rs, err := RunAll(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			for i, k := range kinds {
+				data[bench][th][k] = rs[i].WallNS
+				line = append(line, ms(rs[i].WallNS))
+			}
+			rows = append(rows, line)
+		}
+		header := []string{"threads"}
+		for _, k := range kinds {
+			header = append(header, string(k))
+		}
+		text += "\n" + bench + ":\n" + renderTable(header, rows)
+	}
+	return data, text, nil
+}
+
+// Fig12 reproduces Figure 12: peak memory (pages) vs thread count for
+// Consequence and DThreads.
+func Fig12(s Sweep) (map[string]map[int]map[Kind]int64, string, error) {
+	kinds := []Kind{KindConsequenceIC, KindDThreads}
+	data := map[string]map[int]map[Kind]int64{}
+	text := "Figure 12: peak memory pages vs thread count\n"
+	for _, spec := range workload.All() {
+		bench := spec.Name
+		data[bench] = map[int]map[Kind]int64{}
+		var rows [][]string
+		for _, th := range s.threads() {
+			data[bench][th] = map[Kind]int64{}
+			line := []string{fmt.Sprint(th)}
+			for _, k := range kinds {
+				r, err := Run(Options{Bench: bench, Runtime: k, Threads: th, Scale: s.Scale, Seed: s.Seed})
+				if err != nil {
+					return nil, "", err
+				}
+				data[bench][th][k] = r.Stats.PeakPages
+				line = append(line, fmt.Sprint(r.Stats.PeakPages))
+			}
+			rows = append(rows, line)
+		}
+		text += "\n" + bench + ":\n" + renderTable([]string{"threads", "consequence-ic", "dthreads"}, rows)
+	}
+	return data, text, nil
+}
+
+// Fig13Benches are the eight difficult benchmarks of the optimization
+// study.
+var Fig13Benches = []string{"ferret", "reverse_index", "kmeans", "dedup", "ocean_cp", "lu_ncb", "lu_cb", "canneal"}
+
+// Fig13Variants maps each §3/§4 optimization to the config change that
+// disables it.
+var Fig13Variants = []struct {
+	Name    string
+	Disable func(*det.Config)
+}{
+	{"adaptive-coarsening", func(c *det.Config) { c.Coarsening = false }},
+	{"fast-forward", func(c *det.Config) { c.FastForward = false }},
+	{"parallel-barrier", func(c *det.Config) { c.ParallelBarrier = false }},
+	{"thread-reuse", func(c *det.Config) { c.ThreadPool = false }},
+	{"userspace-reads", func(c *det.Config) { c.UserspaceClockRead = false }},
+	{"adaptive-overflow", func(c *det.Config) { c.AdaptiveOverflow = false }},
+}
+
+// Fig13 reproduces Figure 13: per-optimization speedup (runtime with the
+// optimization disabled divided by the full configuration; higher means
+// the optimization contributes more), at 8 threads.
+func Fig13(s Sweep) (map[string]map[string]float64, string, error) {
+	const threads = 8
+	data := map[string]map[string]float64{}
+	var rows [][]string
+	for _, bench := range Fig13Benches {
+		full, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, "", err
+		}
+		data[bench] = map[string]float64{}
+		line := []string{bench}
+		for _, v := range Fig13Variants {
+			r, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed, Modify: v.Disable,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			sp := float64(r.WallNS) / float64(full.WallNS)
+			data[bench][v.Name] = sp
+			line = append(line, fmt.Sprintf("%.2fx", sp))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark"}
+	for _, v := range Fig13Variants {
+		header = append(header, v.Name)
+	}
+	text := "Figure 13: speedup contributed by each optimization (runtime without it / full config, 8 threads)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// Fig14Levels is the static coarsening sweep (0 = coarsening off).
+var Fig14Levels = []int{0, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig14 reproduces Figure 14: static coarsening levels vs adaptive
+// coarsening for reverse_index and ferret.
+func Fig14(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range []string{"reverse_index", "ferret"} {
+		data[bench] = map[string]int64{}
+		line := []string{bench}
+		for _, lvl := range Fig14Levels {
+			lvl := lvl
+			r, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed,
+				Modify: func(c *det.Config) {
+					if lvl == 0 {
+						c.Coarsening = false
+					} else {
+						c.StaticLevel = lvl
+					}
+				},
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			data[bench][fmt.Sprintf("static-%d", lvl)] = r.WallNS
+			line = append(line, ms(r.WallNS))
+		}
+		r, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, "", err
+		}
+		data[bench]["adaptive"] = r.WallNS
+		line = append(line, ms(r.WallNS))
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark"}
+	for _, lvl := range Fig14Levels {
+		header = append(header, fmt.Sprintf("static=%d", lvl))
+	}
+	header = append(header, "adaptive")
+	text := "Figure 14: runtime (ms) under static coarsening levels vs adaptive (8 threads, lower is better)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
+// Fig15Benches are the breakdown benchmarks of Figure 15.
+var Fig15Benches = []string{
+	"string_match", "ocean_cp", "lu_cb", "lu_ncb", "canneal",
+	"water_nsquared", "water_spatial", "kmeans", "ferret", "dedup", "reverse_index",
+}
+
+// Breakdown is a per-category share of total thread time.
+type Breakdown struct {
+	Local, DetermWait, BarrierWait, Commit, Fault, Lib float64
+}
+
+func (b Breakdown) row() []string {
+	f := func(v float64) string { return fmt.Sprintf("%5.1f%%", 100*v) }
+	return []string{f(b.Local), f(b.DetermWait), f(b.BarrierWait), f(b.Commit), f(b.Fault), f(b.Lib)}
+}
+
+// Fig15 reproduces Figure 15: time breakdown at 8 threads for pthreads,
+// DWC and Consequence-IC. ferret is split into its first pipeline thread
+// (ferret_1) and the remaining threads (ferret_n), as in the paper.
+func Fig15(s Sweep) (map[string]map[Kind]Breakdown, string, error) {
+	const threads = 8
+	kinds := []Kind{KindPthreads, KindDWC, KindConsequenceIC}
+	data := map[string]map[Kind]Breakdown{}
+	var rows [][]string
+	add := func(label string, k Kind, b Breakdown) {
+		if data[label] == nil {
+			data[label] = map[Kind]Breakdown{}
+		}
+		data[label][k] = b
+		rows = append(rows, append([]string{label, string(k)}, b.row()...))
+	}
+	for _, bench := range Fig15Benches {
+		for _, k := range kinds {
+			r, err := Run(Options{Bench: bench, Runtime: k, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+			if err != nil {
+				return nil, "", err
+			}
+			if bench == "ferret" {
+				b1, bn := splitFerret(r)
+				add("ferret_1", k, b1)
+				add("ferret_n", k, bn)
+				continue
+			}
+			add(bench, k, normalize(
+				r.Stats.LocalWorkNS, r.Stats.DetermWaitNS, r.Stats.BarrierWaitNS,
+				r.Stats.CommitNS, r.Stats.FaultNS, r.Stats.LibNS))
+		}
+	}
+	text := "Figure 15: time breakdown at 8 threads\n" +
+		renderTable([]string{"benchmark", "runtime", "local", "determ", "barrier", "commit", "fault", "lib"}, rows)
+	return data, text, nil
+}
+
+func normalize(local, determ, barrier, commit, fault, lib int64) Breakdown {
+	total := float64(local + determ + barrier + commit + fault + lib)
+	if total <= 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Local:       float64(local) / total,
+		DetermWait:  float64(determ) / total,
+		BarrierWait: float64(barrier) / total,
+		Commit:      float64(commit) / total,
+		Fault:       float64(fault) / total,
+		Lib:         float64(lib) / total,
+	}
+}
+
+// splitFerret separates thread 1 (the first spawned pipeline thread) from
+// the rest.
+func splitFerret(r Result) (b1, bn Breakdown) {
+	var one, rest [6]int64
+	for _, tt := range r.Stats.PerThread {
+		dst := &rest
+		if tt.Tid == 1 {
+			dst = &one
+		}
+		dst[0] += tt.LocalWork
+		dst[1] += tt.DetermWait
+		dst[2] += tt.BarrierWait
+		dst[3] += tt.Commit
+		dst[4] += tt.Fault
+		dst[5] += tt.Lib
+	}
+	b1 = normalize(one[0], one[1], one[2], one[3], one[4], one[5])
+	bn = normalize(rest[0], rest[1], rest[2], rest[3], rest[4], rest[5])
+	return
+}
+
+// Fig16Row is one benchmark's page-propagation comparison.
+type Fig16Row struct {
+	Bench    string
+	TSOPages int64
+	LRCPages int64
+}
+
+// Fig16 reproduces Figure 16: pages propagated under TSO (Consequence)
+// versus the expected count for an LRC system, for benchmarks with enough
+// page traffic to be meaningful (the paper used a 10K-update cutoff at
+// full problem sizes; the cutoff here scales with our reduced inputs).
+func Fig16(s Sweep, minPages int64) ([]Fig16Row, string, error) {
+	const threads = 8
+	if minPages <= 0 {
+		minPages = 500
+	}
+	var out []Fig16Row
+	var rows [][]string
+	var totalRed, n float64
+	for _, spec := range workload.All() {
+		r, err := Run(Options{
+			Bench: spec.Name, Runtime: KindConsequenceIC, Threads: threads,
+			Scale: s.Scale, Seed: s.Seed, WithLRC: true,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if r.Stats.PulledPages < minPages {
+			continue
+		}
+		row := Fig16Row{Bench: spec.Name, TSOPages: r.Stats.PulledPages, LRCPages: r.LRCPages}
+		out = append(out, row)
+		red := 1 - float64(row.LRCPages)/float64(row.TSOPages)
+		totalRed += red
+		n++
+		rows = append(rows, []string{
+			spec.Name, fmt.Sprint(row.TSOPages), fmt.Sprint(row.LRCPages),
+			fmt.Sprintf("%.1f%%", 100*red),
+		})
+	}
+	text := "Figure 16: total pages propagated, TSO (Consequence) vs expected LRC (8 threads)\n" +
+		renderTable([]string{"benchmark", "tso-pages", "lrc-pages", "lrc-reduction"}, rows)
+	if n > 0 {
+		text += fmt.Sprintf("average reduction across %d benchmarks: %.1f%%\n", int(n), 100*totalRed/n)
+	}
+	return out, text, nil
+}

@@ -1,0 +1,180 @@
+// Package harness runs the paper's evaluation grid: (benchmark × runtime ×
+// thread count × configuration) on the simulation host, and renders each
+// of the evaluation section's figures (10–16) as a table. Every cell is a
+// deterministic function of the options, so regenerated figures are
+// bit-stable.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/baseline/dthreads"
+	"repro/internal/baseline/dwc"
+	"repro/internal/baseline/pth"
+	"repro/internal/baseline/rfdet"
+	"repro/internal/clock"
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/host/simhost"
+	"repro/internal/lrc"
+	"repro/internal/workload"
+)
+
+// Kind names a runtime under test.
+type Kind string
+
+// The five runtimes of the paper's evaluation, plus the deterministic-LRC
+// runtime the paper could only estimate (§5.3 footnote 5).
+const (
+	KindConsequenceIC Kind = "consequence-ic"
+	KindConsequenceRR Kind = "consequence-rr"
+	KindDThreads      Kind = "dthreads"
+	KindDWC           Kind = "dwc"
+	KindPthreads      Kind = "pthreads"
+	KindRFDet         Kind = "rfdet-lrc"
+)
+
+// DetKinds are the deterministic runtimes compared in Figure 10.
+var DetKinds = []Kind{KindConsequenceIC, KindConsequenceRR, KindDThreads, KindDWC}
+
+// Options selects one run.
+type Options struct {
+	Bench   string
+	Runtime Kind
+	Threads int
+	Scale   int
+	Seed    int64
+	// Modify tweaks the det configuration (ablations, coarsening sweeps).
+	// Only honoured by the Consequence runtimes.
+	Modify func(*det.Config)
+	// WithLRC attaches the happens-before propagation tracker
+	// (Consequence runtimes only).
+	WithLRC bool
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Opts     Options
+	WallNS   int64
+	Stats    api.RunStats
+	Checksum uint64
+	LRCPages int64
+}
+
+// Run executes one configuration on a fresh simulation host.
+func Run(o Options) (Result, error) {
+	spec, err := workload.ByName(o.Bench)
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Threads <= 0 {
+		return Result{}, fmt.Errorf("harness: threads must be positive")
+	}
+	p := workload.Params{Threads: o.Threads, Scale: o.Scale, Seed: o.Seed}
+	segSize := spec.SegmentSize(p)
+	model := costmodel.Default()
+	h := simhost.New(model)
+
+	var rt api.Runtime
+	var tracker *lrc.Tracker
+	switch o.Runtime {
+	case KindConsequenceIC, KindConsequenceRR:
+		c := det.Default()
+		if o.Runtime == KindConsequenceRR {
+			c.Policy = clock.PolicyRR
+		}
+		c.SegmentSize = segSize
+		c.Model = model
+		if o.Modify != nil {
+			o.Modify(&c)
+		}
+		drt, err := det.New(c, h)
+		if err != nil {
+			return Result{}, err
+		}
+		if o.WithLRC {
+			tracker = lrc.New()
+			drt.SetHooks(tracker)
+		}
+		rt = drt
+	case KindDThreads:
+		rt, err = dthreads.New(dthreads.Config{SegmentSize: segSize, Model: model}, h)
+	case KindDWC:
+		rt, err = dwc.New(dwc.Config{SegmentSize: segSize, Model: model}, h)
+	case KindPthreads:
+		rt, err = pth.New(pth.Config{SegmentSize: segSize, Model: model}, h)
+	case KindRFDet:
+		rt, err = rfdet.New(rfdet.Config{SegmentSize: segSize, Model: model}, h)
+	default:
+		return Result{}, fmt.Errorf("harness: unknown runtime %q", o.Runtime)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if err := rt.Run(spec.Prog(p)); err != nil {
+		return Result{}, fmt.Errorf("%s on %s (t=%d): %w", o.Bench, o.Runtime, o.Threads, err)
+	}
+	res := Result{
+		Opts:     o,
+		Stats:    rt.Stats(),
+		Checksum: rt.Checksum(),
+	}
+	res.WallNS = res.Stats.WallNS
+	if tracker != nil {
+		res.LRCPages = tracker.LRCPages()
+	}
+	return res, nil
+}
+
+// RunAll executes a batch of options concurrently (each run is an
+// independent deterministic simulation) and returns results in input
+// order. The first error aborts the batch.
+func RunAll(opts []Options) ([]Result, error) {
+	results := make([]Result, len(opts))
+	errs := make([]error, len(opts))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range opts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(opts[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// BestOver runs o across the given thread counts and returns the result
+// with the lowest wall time (the paper's Figure 10 methodology: "we
+// measured the performance using 2–32 threads, and retained the
+// corresponding best result").
+func BestOver(o Options, threads []int) (Result, error) {
+	var opts []Options
+	for _, th := range threads {
+		oo := o
+		oo.Threads = th
+		opts = append(opts, oo)
+	}
+	rs, err := RunAll(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.WallNS < best.WallNS {
+			best = r
+		}
+	}
+	return best, nil
+}

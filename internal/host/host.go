@@ -1,0 +1,39 @@
+// Package host abstracts how runtime threads execute: for real (goroutines
+// with wall-clock time) or simulated (virtual threads with virtual time on
+// the discrete-event engine). The deterministic runtimes are written once
+// against this interface; their logical behaviour — sync ordering, memory
+// state — is identical on both hosts, which the integration tests assert.
+package host
+
+// Host creates and runs threads.
+type Host interface {
+	// Go starts a thread executing fn. parent is the binding of the
+	// creating thread (nil only for threads created before Run). On the
+	// simulation host the child begins at the parent's virtual time.
+	Go(name string, parent Binding, fn func(Binding))
+	// Run blocks until all threads have finished. On the simulation host it
+	// returns an error if parked threads remain (deadlock).
+	Run() error
+	// Timed reports whether the host models time, i.e. Charge has effect
+	// and Now returns meaningful virtual nanoseconds. The runtimes use this
+	// to enable cost charging and overflow quantization.
+	Timed() bool
+}
+
+// Binding is a thread's handle to its host context. Block and Charge must
+// be called only by the bound thread itself; Wake may be called by any
+// thread.
+type Binding interface {
+	// Now returns the thread's current time in nanoseconds (virtual on the
+	// simulation host, wall-clock on the real host).
+	Now() int64
+	// Charge elapses ns nanoseconds of modeled work (no-op on real host).
+	Charge(ns int64)
+	// Block suspends the thread until a Wake targets it. A Wake that
+	// arrives first is not lost: the Block returns immediately (one
+	// pending wake permit is held, and double-wake is a runtime bug that
+	// panics).
+	Block()
+	// Wake releases target from Block (or pre-arms its next Block).
+	Wake(target Binding)
+}

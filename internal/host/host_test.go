@@ -1,0 +1,137 @@
+package host_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/host"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+)
+
+// hosts under test share one behavioural contract.
+func hosts() map[string]func() host.Host {
+	return map[string]func() host.Host{
+		"real":      func() host.Host { return realhost.New(0, 0) },
+		"real-pert": func() host.Host { return realhost.New(200*time.Microsecond, 1) },
+		"sim":       func() host.Host { return simhost.New(costmodel.Default()) },
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	for name, mk := range hosts() {
+		t.Run(name, func(t *testing.T) {
+			h := mk()
+			var got atomic.Int32
+			var waiter host.Binding
+			ready := make(chan struct{})
+			h.Go("waiter", nil, func(b host.Binding) {
+				waiter = b
+				close(ready)
+				b.Block()
+				got.Store(1)
+			})
+			h.Go("waker", nil, func(b host.Binding) {
+				<-ready
+				b.Charge(1000) // give the waiter a chance to block (sim: order)
+				b.Wake(waiter)
+			})
+			if err := h.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got.Load() != 1 {
+				t.Fatal("waiter never woke")
+			}
+		})
+	}
+}
+
+func TestWakeBeforeBlockNotLost(t *testing.T) {
+	for name, mk := range hosts() {
+		t.Run(name, func(t *testing.T) {
+			h := mk()
+			var target host.Binding
+			ready := make(chan struct{})
+			woken := make(chan struct{})
+			h.Go("target", nil, func(b host.Binding) {
+				target = b
+				close(ready)
+				// Delay so the wake likely lands before the block (on the
+				// sim host, ordering guarantees it).
+				b.Charge(10_000)
+				<-woken
+				b.Block() // must return immediately: permit pending
+			})
+			h.Go("waker", nil, func(b host.Binding) {
+				<-ready
+				b.Wake(target)
+				close(woken)
+			})
+			if err := h.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSimChargeAdvancesVirtualTime(t *testing.T) {
+	h := simhost.New(costmodel.Default())
+	var end int64
+	h.Go("p", nil, func(b host.Binding) {
+		b.Charge(12345)
+		end = b.Now()
+	})
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 12345 {
+		t.Fatalf("Now = %d, want 12345", end)
+	}
+	if !h.Timed() {
+		t.Fatal("sim host must be timed")
+	}
+	if realhost.New(0, 0).Timed() {
+		t.Fatal("real host must not be timed")
+	}
+}
+
+func TestSimChildStartsAtParentTime(t *testing.T) {
+	h := simhost.New(costmodel.Default())
+	var childStart int64
+	h.Go("parent", nil, func(b host.Binding) {
+		b.Charge(500)
+		h.Go("child", b, func(c host.Binding) {
+			childStart = c.Now()
+		})
+	})
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childStart != 500 {
+		t.Fatalf("child started at %d, want 500", childStart)
+	}
+}
+
+func TestSimWakeLatency(t *testing.T) {
+	m := costmodel.Default()
+	h := simhost.New(m)
+	var resumeAt int64
+	var waiter host.Binding
+	h.Go("waiter", nil, func(b host.Binding) {
+		waiter = b
+		b.Block()
+		resumeAt = b.Now()
+	})
+	h.Go("waker", nil, func(b host.Binding) {
+		b.Charge(100) // waiter parks first
+		b.Wake(waiter)
+	})
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 + m.Wakeup; resumeAt != want {
+		t.Fatalf("waiter resumed at %d, want %d", resumeAt, want)
+	}
+}

@@ -1,0 +1,91 @@
+// Package realhost runs runtime threads as plain goroutines with real
+// parallelism and wall-clock time. This is the host behind the public
+// consequence API: programs execute concurrently for real, and determinism
+// comes entirely from the runtime's logical-clock ordering — which the
+// perturbation tests stress by injecting random delays around every
+// blocking point.
+package realhost
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/host"
+)
+
+// Host implements host.Host over goroutines.
+type Host struct {
+	wg    sync.WaitGroup
+	start time.Time
+
+	// perturb > 0 injects random sleeps (up to perturb) before blocks and
+	// wakes, to demonstrate schedule-independence in tests.
+	perturb time.Duration
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+// New creates a real host. perturb > 0 enables schedule perturbation with
+// the given maximum delay, seeded by seed.
+func New(perturb time.Duration, seed int64) *Host {
+	h := &Host{start: time.Now(), perturb: perturb}
+	if perturb > 0 {
+		h.rng = rand.New(rand.NewSource(seed))
+	}
+	return h
+}
+
+type binding struct {
+	h    *Host
+	name string
+	ch   chan struct{}
+}
+
+// Go implements host.Host.
+func (h *Host) Go(name string, parent host.Binding, fn func(host.Binding)) {
+	b := &binding{h: h, name: name, ch: make(chan struct{}, 1)}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.maybePerturb()
+		fn(b)
+	}()
+}
+
+// Run implements host.Host.
+func (h *Host) Run() error {
+	h.wg.Wait()
+	return nil
+}
+
+// Timed implements host.Host: the real host does not model time.
+func (h *Host) Timed() bool { return false }
+
+func (h *Host) maybePerturb() {
+	if h.perturb <= 0 {
+		return
+	}
+	h.rngMu.Lock()
+	d := time.Duration(h.rng.Int63n(int64(h.perturb)))
+	h.rngMu.Unlock()
+	time.Sleep(d)
+}
+
+func (b *binding) Now() int64      { return time.Since(b.h.start).Nanoseconds() }
+func (b *binding) Charge(ns int64) {}
+func (b *binding) Block() {
+	b.h.maybePerturb()
+	<-b.ch
+}
+
+func (b *binding) Wake(target host.Binding) {
+	t := target.(*binding)
+	t.h.maybePerturb()
+	select {
+	case t.ch <- struct{}{}:
+	default:
+		panic(fmt.Sprintf("realhost: double wake of thread %q", t.name))
+	}
+}

@@ -1,0 +1,208 @@
+package mem
+
+import "sort"
+
+// CommitStats summarizes one commit (or pure update) for cost accounting.
+type CommitStats struct {
+	// CommittedPages is the number of pages with at least one changed byte.
+	CommittedPages int
+	// MergedPages counts committed pages that conflicted (another thread
+	// committed the same page since this workspace's snapshot) and thus
+	// required a byte-granularity merge.
+	MergedPages int
+	// DiffBytes is the total number of bytes this commit changed.
+	DiffBytes int
+	// PulledPages is the number of distinct remote pages whose
+	// modifications became visible by advancing the snapshot.
+	PulledPages int
+}
+
+// PendingCommit is a commit whose serial ordering phase (BeginCommit) has
+// run but whose merge phase (Complete) may still be outstanding. The split
+// implements Conversion's two-phase parallel commit (§4.2): phase one runs
+// under the runtime's global token and fixes the total order; phase two
+// does the expensive page merging and may run concurrently across threads.
+type PendingCommit struct {
+	seg     *Segment
+	version *Version // nil if the workspace had no changes
+	stats   CommitStats
+}
+
+// Stats returns the commit's accounting counters.
+func (pc *PendingCommit) Stats() CommitStats { return pc.stats }
+
+// Version returns the version this commit created, or nil if the workspace
+// had no modified bytes (the commit degenerated to an update).
+func (pc *PendingCommit) Version() *Version { return pc.version }
+
+// BeginCommit runs the serial phase of a commit: it assigns the next
+// version number, records which pages the version modifies and computes
+// their byte diffs, and advances the workspace snapshot past the new
+// version. The caller must serialize BeginCommit calls on a segment (the
+// deterministic runtimes do so by holding the global token), or the commit
+// order — and therefore the program's memory state — would not be
+// deterministic.
+//
+// Pages whose bytes did not actually change are dropped (their fault was
+// wasted work, which the fault counter already recorded).
+func (ws *Workspace) BeginCommit() *PendingCommit {
+	s := ws.seg
+	s.mu.Lock()
+	pc := &PendingCommit{seg: s}
+	oldV := ws.version
+	headBefore := s.head
+
+	// Count remote pages becoming visible (same accounting as Update).
+	if oldV < headBefore {
+		touched := make(map[int]bool)
+		var patches []*pageSlot
+		for i := oldV - s.floor; i < headBefore-s.floor; i++ {
+			for pg, slot := range s.versions[i].Pages {
+				touched[pg] = true
+				if _, dirtyHere := ws.dirty[pg]; dirtyHere {
+					patches = append(patches, slot)
+				}
+			}
+		}
+		pc.stats.PulledPages = len(touched)
+		// Import remote bytes into dirty pages before diffing so the commit
+		// cannot resurrect stale values for bytes this thread never wrote.
+		for _, slot := range patches {
+			dp := ws.dirty[slot.page]
+			slot.diff.applyWhereClean(dp.data, dp.twin)
+		}
+	}
+
+	// Diff dirty pages in deterministic (ascending page) order.
+	pages := make([]int, 0, len(ws.dirty))
+	for pg := range ws.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+
+	var slots []*pageSlot
+	for _, pg := range pages {
+		dp := ws.dirty[pg]
+		diff := computeDiff(dp.data, dp.twin)
+		if diff.Empty() {
+			s.allocPages(-2) // dirty copy and twin both freed
+			continue
+		}
+		slot := &pageSlot{
+			page: pg,
+			prev: s.latest[pg],
+			diff: diff,
+			seg:  s,
+		}
+		// A conflict means some other thread committed this page after our
+		// snapshot; phase 2 must merge rather than install our copy.
+		if slot.prev != nil && slot.prev.version.Num > oldV {
+			slot.conflict = true
+			s.allocPages(-2) // our raw copy and twin freed; merge allocates
+		} else {
+			slot.fastData = dp.data // our copy becomes the committed page
+			s.allocPages(-1)        // twin freed
+		}
+		pc.stats.DiffBytes += diff.Bytes()
+		slots = append(slots, slot)
+	}
+	ws.dirty = make(map[int]*dirtyPage)
+
+	if len(slots) == 0 {
+		// Nothing to publish: behave as an update.
+		ws.version = headBefore
+		s.mu.Unlock()
+		s.addPulled(int64(pc.stats.PulledPages))
+		return pc
+	}
+
+	v := &Version{
+		Num:       headBefore + 1,
+		Committer: ws.tid,
+		Pages:     make(map[int]*pageSlot, len(slots)),
+		slots:     slots,
+	}
+	for _, slot := range slots {
+		slot.version = v
+		v.Pages[slot.page] = slot
+		s.latest[slot.page] = slot
+		if slot.conflict {
+			pc.stats.MergedPages++
+		}
+	}
+	s.versions = append(s.versions, v)
+	s.head = v.Num
+	ws.version = v.Num
+	pc.version = v
+	pc.stats.CommittedPages = len(slots)
+	s.mu.Unlock()
+
+	s.noteCommit(pc.stats)
+	return pc
+}
+
+// Complete runs the merge phase: every page the version touches gets its
+// final content, merging the committer's diff over the previous version of
+// the page where a conflict exists. Safe to call from any goroutine;
+// multiple calls (and concurrent reader-forced resolution) are idempotent.
+func (pc *PendingCommit) Complete() {
+	if pc.version != nil {
+		pc.version.complete()
+	}
+}
+
+func (v *Version) complete() {
+	for _, slot := range v.slots {
+		slot.resolve()
+	}
+}
+
+// Commit is the common single-phase form: serial ordering immediately
+// followed by the merge. Returns the commit statistics.
+func (ws *Workspace) Commit() CommitStats {
+	pc := ws.BeginCommit()
+	pc.Complete()
+	return pc.stats
+}
+
+// CompleteThrough finishes the merge phase of every pending version with
+// Num <= n, in version order. The simulation host uses this to execute the
+// "parallel" barrier merges deterministically from a single goroutine while
+// charging each virtual thread its own parallel cost; the result is
+// byte-identical to truly parallel Complete calls.
+func (s *Segment) CompleteThrough(n int64) {
+	s.mu.Lock()
+	var todo []*Version
+	for _, v := range s.versions {
+		if v.Num > n {
+			break
+		}
+		if v.Pending() {
+			todo = append(todo, v)
+		}
+	}
+	s.mu.Unlock()
+	for _, v := range todo {
+		v.complete()
+	}
+}
+
+// ReadCommitted copies bytes from the segment's state as of version `at`
+// into buf, ignoring all workspaces. Used by the harness and tests to
+// observe and hash final memory. Blocks on pending versions.
+func (s *Segment) ReadCommitted(buf []byte, off int, at int64) {
+	if off < 0 || off+len(buf) > s.size {
+		panic("mem: ReadCommitted out of range")
+	}
+	for len(buf) > 0 {
+		pg, po := s.pageIndex(off)
+		n := s.pageSize - po
+		if n > len(buf) {
+			n = len(buf)
+		}
+		src := s.committedPage(pg, at)
+		copy(buf[:n], src[po:po+n])
+		buf = buf[n:]
+		off += n
+	}
+}

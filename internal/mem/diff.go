@@ -1,0 +1,76 @@
+package mem
+
+// Diff is a sparse description of the bytes a committer changed within one
+// page: a sorted, non-overlapping list of runs. It is the unit of
+// byte-granularity merging, equivalent to the twin/diff comparison the
+// kernel Conversion module performs.
+//
+// Runs are byte-exact: a run never contains a byte where cur == twin.
+// This matters for correctness, not just size — applying a diff over a
+// newer base must only overwrite bytes the committer actually changed, or
+// last-writer-wins merging would resurrect stale values.
+type Diff struct {
+	Runs []Run
+}
+
+// Run is one contiguous range of modified bytes.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// Empty reports whether the diff changes no bytes.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Bytes returns the total number of bytes the diff modifies.
+func (d Diff) Bytes() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// computeDiff compares cur against twin and returns byte-exact runs where
+// they differ, capturing cur's bytes. Both slices must be the same length.
+func computeDiff(cur, twin []byte) Diff {
+	var d Diff
+	i, n := 0, len(cur)
+	for i < n {
+		if cur[i] == twin[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < n && cur[i] != twin[i] {
+			i++
+		}
+		d.Runs = append(d.Runs, Run{Off: start, Data: append([]byte(nil), cur[start:i]...)})
+	}
+	return d
+}
+
+// apply overwrites dst with the diff's bytes. dst must be at least as long
+// as the highest run extent.
+func (d Diff) apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// applyWhereClean copies the diff's bytes into dst only at positions where
+// dst still equals twin (i.e. the local thread has not overwritten them),
+// keeping twin in sync so a later local diff excludes the imported bytes.
+// This is how an Update patches remotely committed bytes into a locally
+// dirty page without clobbering the thread's own store buffer.
+func (d Diff) applyWhereClean(dst, twin []byte) {
+	for _, r := range d.Runs {
+		for k, b := range r.Data {
+			pos := r.Off + k
+			if dst[pos] == twin[pos] {
+				dst[pos] = b
+				twin[pos] = b
+			}
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package mem implements Conversion, a user-space reimplementation of the
+// version-controlled memory substrate from Merrifield & Eriksson
+// (EuroSys 2013) that the Consequence runtime builds on.
+//
+// A Segment is a paged, versioned address space. Each thread operates on a
+// Workspace: an isolated snapshot of the segment at some version. Writes to
+// a workspace trigger a copy-on-write "fault" that copies the page into a
+// thread-local dirty set together with a twin (the pristine snapshot copy),
+// exactly mirroring the kernel implementation's private page-table entries.
+//
+// A commit publishes the workspace's dirty pages as a new immutable Version.
+// If another thread committed to the same page since the workspace's
+// snapshot, the commit merges at byte granularity with a last-writer-wins
+// policy: only the bytes the committer actually changed (dirty vs twin)
+// overwrite the latest committed content. An update pulls committed versions
+// into the workspace, refreshing clean pages wholesale and patching dirty
+// pages only where the local thread has not written.
+//
+// Commits may be split into the two phases described in §4.2 of the
+// Consequence paper: a serial ordering phase (BeginCommit, performed while
+// holding the runtime's global token) and a parallel merge phase (Complete),
+// enabling the parallel deterministic barrier.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the page size used when SegmentConfig.PageSize is zero.
+// 4096 matches the hardware page size the paper's kernel implementation
+// operates on.
+const DefaultPageSize = 4096
+
+// zeroPage is shared backing for never-written pages so that sparse
+// segments cost nothing until touched.
+var (
+	zeroPages   = map[int][]byte{}
+	zeroPagesMu sync.Mutex
+)
+
+func zeroPage(size int) []byte {
+	zeroPagesMu.Lock()
+	defer zeroPagesMu.Unlock()
+	p, ok := zeroPages[size]
+	if !ok {
+		p = make([]byte, size)
+		zeroPages[size] = p
+	}
+	return p
+}
+
+// SegmentConfig parameterizes a Segment.
+type SegmentConfig struct {
+	// Name identifies the segment in errors and stats ("heap", "globals").
+	Name string
+	// Size is the segment length in bytes. It is rounded up to a whole
+	// number of pages.
+	Size int
+	// PageSize must be a power of two; 0 means DefaultPageSize.
+	PageSize int
+	// GCPageBudget bounds how many version pages a single GC invocation may
+	// reclaim, modeling the paper's single-threaded Conversion collector
+	// (§5: "a high volume of page allocation/freeing such that the
+	// single-threaded Conversion garbage collector cannot keep up").
+	// 0 means unlimited.
+	GCPageBudget int
+}
+
+// Segment is a versioned, paged address space shared by many workspaces.
+// All exported methods are safe for concurrent use.
+type Segment struct {
+	name     string
+	pageSize int
+	pageLog  uint // log2(pageSize)
+	npages   int
+	size     int
+
+	mu sync.Mutex
+	// floor is the version number the flat `base` table reflects; versions
+	// (floor, head] are retained as deltas until GC squashes them.
+	floor int64
+	head  int64
+	base  [][]byte // npages entries; nil means zero page
+	// versions holds the retained delta chain, versions[i] has
+	// Num == floor+1+i. Entries may be pending (phase 2 incomplete).
+	versions []*Version
+	// latest[pg] points at the most recent committed or pending version
+	// touching pg, or nil if base content is current. Used to chain
+	// parallel phase-2 merges per page.
+	latest map[int]*pageSlot
+
+	stats   Stats
+	statsMu sync.Mutex
+
+	workspaces map[int]*Workspace // live workspaces keyed by owner tid
+}
+
+// Version is one committed (or pending) set of page modifications.
+type Version struct {
+	// Num is the version's position in the segment's total commit order.
+	Num int64
+	// Committer is the thread ID that produced this version.
+	Committer int
+	// Pages maps page index -> slot holding the merged page content.
+	Pages map[int]*pageSlot
+	// slots lists the same slots in ascending page order (deterministic
+	// phase-2 processing order).
+	slots []*pageSlot
+}
+
+// Pending reports whether any of the version's pages still await their
+// merge phase.
+func (v *Version) Pending() bool {
+	for _, slot := range v.slots {
+		if !slot.resolved.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// PageIndexes returns the sorted-free set of page indexes this version
+// modified (iteration order unspecified).
+func (v *Version) PageIndexes() []int {
+	idx := make([]int, 0, len(v.Pages))
+	for pg := range v.Pages {
+		idx = append(idx, pg)
+	}
+	return idx
+}
+
+// pageSlot is the unit of the per-page merge chain. prev points at the slot
+// holding the page's content as of the previous version touching it (nil
+// means the segment base table / zero page). data is filled in during
+// phase 2.
+// pageSlot is self-resolving: the committer's Complete resolves it during
+// phase 2, but any reader that needs the page earlier may force resolution
+// itself (resolve is idempotent and the result is order-independent data).
+// This keeps the memory layer free of blocking, which matters both for the
+// discrete-event host (a blocked virtual thread would stall the engine) and
+// for deadlock-freedom in general.
+type pageSlot struct {
+	page    int
+	version *Version
+	prev    *pageSlot
+	diff    Diff // the committer's own byte changes
+	data    []byte
+	// conflict marks that another thread committed this page between the
+	// committer's snapshot and its commit; resolution must merge.
+	conflict bool
+	// fastData holds the committer's raw page when no merge is needed.
+	fastData []byte
+
+	once     sync.Once
+	resolved atomic.Bool
+	seg      *Segment
+}
+
+// resolve computes (once) and returns the slot's final page content,
+// recursively forcing conflicting predecessors.
+func (s *pageSlot) resolve() []byte {
+	s.once.Do(func() {
+		if s.conflict {
+			base := s.prev.resolve()
+			data := append([]byte(nil), base...)
+			s.diff.apply(data)
+			s.data = data
+			s.seg.allocPages(1)
+		} else {
+			s.data = s.fastData
+			s.fastData = nil
+		}
+		s.resolved.Store(true)
+	})
+	return s.data
+}
+
+// NewSegment creates an all-zero segment.
+func NewSegment(cfg SegmentConfig) (*Segment, error) {
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if ps <= 0 || ps&(ps-1) != 0 {
+		return nil, fmt.Errorf("mem: page size %d is not a power of two", ps)
+	}
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mem: segment %q has non-positive size %d", cfg.Name, cfg.Size)
+	}
+	np := (cfg.Size + ps - 1) / ps
+	log := uint(0)
+	for 1<<log != ps {
+		log++
+	}
+	return &Segment{
+		name:       cfg.Name,
+		pageSize:   ps,
+		pageLog:    log,
+		npages:     np,
+		size:       np * ps,
+		base:       make([][]byte, np),
+		latest:     make(map[int]*pageSlot),
+		workspaces: make(map[int]*Workspace),
+		stats:      Stats{GCPageBudget: cfg.GCPageBudget},
+	}, nil
+}
+
+// Name returns the segment's configured name.
+func (s *Segment) Name() string { return s.name }
+
+// Size returns the segment length in bytes (rounded up to pages).
+func (s *Segment) Size() int { return s.size }
+
+// PageSize returns the page size in bytes.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// NumPages returns the number of pages in the segment.
+func (s *Segment) NumPages() int { return s.npages }
+
+// Head returns the latest version number (0 if nothing has committed).
+func (s *Segment) Head() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+// pageIndex converts a byte offset into (page index, offset within page).
+func (s *Segment) pageIndex(off int) (int, int) {
+	return off >> s.pageLog, off & (s.pageSize - 1)
+}
+
+// committedPage returns the content of pg as of version `at`, following
+// the retained delta chain. The returned slice must not be mutated. If the
+// governing version is still pending, its content is resolved on demand.
+func (s *Segment) committedPage(pg int, at int64) []byte {
+	s.mu.Lock()
+	var slot *pageSlot
+	// Walk back from `at` to floor looking for the newest version <= at
+	// touching pg.
+	for i := at - s.floor - 1; i >= 0; i-- {
+		v := s.versions[i]
+		if sl, ok := v.Pages[pg]; ok {
+			slot = sl
+			break
+		}
+	}
+	if slot == nil {
+		data := s.base[pg]
+		s.mu.Unlock()
+		if data == nil {
+			return zeroPage(s.pageSize)
+		}
+		return data
+	}
+	s.mu.Unlock()
+	return slot.resolve()
+}
+
+// Snapshot creates a workspace view of the segment at its current head.
+// tid identifies the owning thread; at most one live workspace per tid.
+func (s *Segment) Snapshot(tid int) (*Workspace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.workspaces[tid]; ok {
+		return nil, fmt.Errorf("mem: segment %q already has a workspace for tid %d", s.name, tid)
+	}
+	ws := &Workspace{
+		seg:     s,
+		tid:     tid,
+		version: s.head,
+		dirty:   make(map[int]*dirtyPage),
+	}
+	s.workspaces[tid] = ws
+	return ws, nil
+}
+
+// Release detaches a workspace, allowing GC to reclaim versions it pinned.
+// The workspace must not be used afterwards.
+func (s *Segment) Release(ws *Workspace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workspaces[ws.tid] == ws {
+		delete(s.workspaces, ws.tid)
+	}
+	ws.discardLocked()
+	ws.seg = nil
+}
+
+// Rebind transfers a workspace to a new thread id (thread-pool reuse: the
+// recycled thread keeps its page table instead of forking a fresh one).
+func (s *Segment) Rebind(ws *Workspace, newTid int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workspaces[ws.tid] != ws {
+		return fmt.Errorf("mem: rebind of unregistered workspace (tid %d)", ws.tid)
+	}
+	if _, ok := s.workspaces[newTid]; ok {
+		return fmt.Errorf("mem: rebind target tid %d already has a workspace", newTid)
+	}
+	delete(s.workspaces, ws.tid)
+	ws.tid = newTid
+	s.workspaces[newTid] = ws
+	return nil
+}
+
+// PopulatedPages approximates the number of populated page-table entries a
+// fork would have to copy: base pages plus retained version pages.
+func (s *Segment) PopulatedPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.base {
+		if p != nil {
+			n++
+		}
+	}
+	for _, v := range s.versions {
+		n += len(v.Pages)
+	}
+	return n
+}
+
+// minWorkspaceVersionLocked returns the smallest snapshot version across
+// live workspaces, or head if none.
+func (s *Segment) minWorkspaceVersionLocked() int64 {
+	minV := s.head
+	for _, ws := range s.workspaces {
+		if ws.version < minV {
+			minV = ws.version
+		}
+	}
+	return minV
+}

@@ -1,0 +1,178 @@
+package mem
+
+import "fmt"
+
+// Workspace is one thread's isolated view of a Segment: a snapshot version
+// plus a private set of dirty pages. A workspace is owned by a single
+// thread; only Segment-level operations (commit publication, GC) are
+// internally synchronized.
+type Workspace struct {
+	seg     *Segment
+	tid     int
+	version int64 // snapshot version this view reflects
+	dirty   map[int]*dirtyPage
+
+	// Counters since the last TakeCounters call; the runtime converts
+	// these into charged costs and stats.
+	faults int64
+}
+
+// dirtyPage is a privately writable copy of a page plus its pristine twin.
+type dirtyPage struct {
+	data []byte
+	twin []byte
+}
+
+// Tid returns the owning thread id.
+func (ws *Workspace) Tid() int { return ws.tid }
+
+// Version returns the snapshot version the workspace currently reflects.
+func (ws *Workspace) Version() int64 { return ws.version }
+
+// DirtyPages returns the number of pages currently copied-on-write.
+func (ws *Workspace) DirtyPages() int { return len(ws.dirty) }
+
+// TakeFaults returns and resets the number of copy-on-write faults since
+// the previous call. The runtime charges page-fault costs from this.
+func (ws *Workspace) TakeFaults() int64 {
+	f := ws.faults
+	ws.faults = 0
+	return f
+}
+
+// Read copies len(buf) bytes starting at byte offset off into buf.
+// Reads see the thread's own uncommitted stores (store buffer) overlaid on
+// the snapshot, which is exactly TSO's read-own-writes-early behaviour.
+func (ws *Workspace) Read(buf []byte, off int) {
+	ws.checkRange(off, len(buf), "read")
+	for len(buf) > 0 {
+		pg, po := ws.seg.pageIndex(off)
+		n := ws.seg.pageSize - po
+		if n > len(buf) {
+			n = len(buf)
+		}
+		var src []byte
+		if dp, ok := ws.dirty[pg]; ok {
+			src = dp.data
+		} else {
+			src = ws.seg.committedPage(pg, ws.version)
+		}
+		copy(buf[:n], src[po:po+n])
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// Write stores data at byte offset off, copy-on-write faulting each page on
+// first touch.
+func (ws *Workspace) Write(data []byte, off int) {
+	ws.checkRange(off, len(data), "write")
+	for len(data) > 0 {
+		pg, po := ws.seg.pageIndex(off)
+		n := ws.seg.pageSize - po
+		if n > len(data) {
+			n = len(data)
+		}
+		dp := ws.fault(pg)
+		copy(dp.data[po:po+n], data[:n])
+		data = data[n:]
+		off += n
+	}
+}
+
+// fault returns the dirty copy of pg, creating it (and counting a fault) on
+// first write, mirroring the kernel's copy-on-write page fault.
+func (ws *Workspace) fault(pg int) *dirtyPage {
+	if dp, ok := ws.dirty[pg]; ok {
+		return dp
+	}
+	base := ws.seg.committedPage(pg, ws.version)
+	dp := &dirtyPage{
+		data: append([]byte(nil), base...),
+		twin: append([]byte(nil), base...),
+	}
+	ws.dirty[pg] = dp
+	ws.faults++
+	ws.seg.noteFaults(1)
+	ws.seg.allocPages(2)
+	return dp
+}
+
+func (ws *Workspace) checkRange(off, n int, op string) {
+	if off < 0 || n < 0 || off+n > ws.seg.size {
+		panic(fmt.Sprintf("mem: %s [%d,%d) out of range of segment %q (size %d)",
+			op, off, off+n, ws.seg.name, ws.seg.size))
+	}
+}
+
+// Update advances the workspace to the segment head, importing remotely
+// committed changes. Equivalent to UpdateTo with the current head.
+func (ws *Workspace) Update() (pulled int) {
+	return ws.UpdateTo(1 << 62)
+}
+
+// UpdateTo advances the workspace to version `at` (clamped to the current
+// head; a no-op if the view is already there or past). Clean pages are
+// refreshed implicitly (reads are served from the version chain); dirty
+// pages are patched byte-wise so that only locations the local thread has
+// not written take the remote values.
+//
+// The deterministic runtimes use the explicit target for barrier exits: the
+// set of versions a thread imports must be fixed by the program's logical
+// order, not by how far the head happens to have advanced when the thread
+// physically wakes.
+//
+// It returns the number of distinct pages whose remote modifications were
+// imported, which the runtime converts into page-propagation cost and the
+// Figure 16 statistic.
+func (ws *Workspace) UpdateTo(at int64) (pulled int) {
+	s := ws.seg
+	s.mu.Lock()
+	head := at
+	if head > s.head {
+		head = s.head
+	}
+	if head <= ws.version {
+		s.mu.Unlock()
+		return 0
+	}
+	touched := make(map[int]bool)
+	var patches []*pageSlot
+	for i := ws.version - s.floor; i < head-s.floor; i++ {
+		if i < 0 {
+			// Should not happen: GC never passes a live workspace.
+			panic(fmt.Sprintf("mem: workspace for tid %d (version %d) behind GC floor %d", ws.tid, ws.version, s.floor))
+		}
+		v := s.versions[i]
+		for pg, slot := range v.Pages {
+			touched[pg] = true
+			if _, dirtyHere := ws.dirty[pg]; dirtyHere {
+				patches = append(patches, slot)
+			}
+		}
+	}
+	ws.version = head
+	s.mu.Unlock()
+	// Patch dirty pages outside the segment lock; diffs are immutable after
+	// phase 1 and patches is in version order because the version list is.
+	for _, slot := range patches {
+		dp := ws.dirty[slot.page]
+		slot.diff.applyWhereClean(dp.data, dp.twin)
+	}
+	s.addPulled(int64(len(touched)))
+	return len(touched)
+}
+
+// Discard drops all uncommitted local modifications.
+func (ws *Workspace) Discard() {
+	ws.seg.mu.Lock()
+	defer ws.seg.mu.Unlock()
+	ws.discardLocked()
+}
+
+func (ws *Workspace) discardLocked() {
+	if n := len(ws.dirty); n > 0 {
+		ws.seg.allocPages(int64(-2 * n))
+		ws.dirty = make(map[int]*dirtyPage)
+	}
+}

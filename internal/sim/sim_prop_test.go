@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: across arbitrary advance patterns, the engine executes events
+// in nondecreasing virtual time (single-threaded alternation means procs'
+// observations of a shared log are totally ordered).
+func TestPropGlobalTimeMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var log []int64
+		n := rng.Intn(6) + 2
+		for i := 0; i < n; i++ {
+			steps := rng.Intn(30) + 1
+			deltas := make([]int64, steps)
+			for k := range deltas {
+				deltas[k] = int64(rng.Intn(500))
+			}
+			e.Go("p", int64(rng.Intn(100)), func(p *Proc) {
+				for _, d := range deltas {
+					p.Advance(d)
+					log = append(log, p.Now())
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i] < log[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: park/unpark chains preserve causality — a consumer resumed by
+// a producer never observes a time before the unpark point.
+func TestPropUnparkCausality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		stages := rng.Intn(5) + 2
+		procs := make([]*Proc, stages)
+		ok := true
+		var wakeTimes []int64
+		for i := 0; i < stages; i++ {
+			i := i
+			delay := int64(rng.Intn(1000) + 1)
+			e.Go("stage", 0, func(p *Proc) {
+				procs[i] = p
+				if i > 0 {
+					p.Park()
+					// Must resume at or after the waker's unpark time.
+					if p.Now() < wakeTimes[i-1] {
+						ok = false
+					}
+				}
+				p.Advance(delay)
+				if i+1 < stages {
+					// Wait (in virtual time) until the successor parked.
+					for procs[i+1] == nil || !procs[i+1].Parked() {
+						p.Advance(1)
+					}
+					wakeTimes = append(wakeTimes, p.Now())
+					procs[i+1].UnparkAt(p.Now())
+				}
+			})
+		}
+		return e.Run() == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

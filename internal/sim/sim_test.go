@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAdvanceOrdersProcsByVirtualTime(t *testing.T) {
+	e := New()
+	var order []string
+	e.Go("slow", 0, func(p *Proc) {
+		p.Advance(100)
+		order = append(order, "slow")
+	})
+	e.Go("fast", 0, func(p *Proc) {
+		p.Advance(10)
+		order = append(order, "fast")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBrokenBySchedulingSequence(t *testing.T) {
+	// Same virtual time: the earlier-scheduled event runs first,
+	// deterministically.
+	for trial := 0; trial < 5; trial++ {
+		e := New()
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Go(fmt.Sprint(i), 0, func(p *Proc) {
+				p.Advance(50)
+				order = append(order, i)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: order = %v", trial, order)
+			}
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := New()
+	var consumer *Proc
+	value := 0
+	e.Go("consumer", 0, func(p *Proc) {
+		consumer = p
+		p.Park()
+		if value != 42 {
+			t.Errorf("woken before producer wrote: %d", value)
+		}
+		if p.Now() != 75 {
+			t.Errorf("consumer resumed at %d, want 75", p.Now())
+		}
+	})
+	e.Go("producer", 0, func(p *Proc) {
+		p.Advance(1) // let consumer park first
+		value = 42
+		p.Advance(49)
+		consumer.UnparkAt(75)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnparkInThePastResumesAtOwnTime(t *testing.T) {
+	e := New()
+	var a *Proc
+	e.Go("a", 0, func(p *Proc) {
+		a = p
+		p.Advance(100)
+		p.Park()
+		if p.Now() != 100 {
+			t.Errorf("resumed at %d, want 100 (unpark time was earlier)", p.Now())
+		}
+	})
+	e.Go("b", 0, func(p *Proc) {
+		p.Advance(150) // a is parked at its time 100 by now
+		a.UnparkAt(50)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New()
+	e.Go("stuck", 0, func(p *Proc) { p.Park() })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := New()
+	var times []int64
+	e.Go("parent", 0, func(p *Proc) {
+		p.Advance(10)
+		p.eng.Go("child", p.Now(), func(c *Proc) {
+			c.Advance(5)
+			times = append(times, c.Now())
+		})
+		p.Advance(100)
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 15 || times[1] != 110 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestZeroAdvanceIsNoop(t *testing.T) {
+	e := New()
+	ran := false
+	e.Go("p", 0, func(p *Proc) {
+		p.Advance(0)
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("proc did not run")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	e := New()
+	panicked := make(chan bool, 1)
+	e.Go("p", 0, func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// Re-yield as exited so the engine can finish.
+		}()
+		p.Advance(-1)
+	})
+	// The panic unwinds the proc goroutine; the deferred send fires, but
+	// the engine handshake is broken — run Run in a goroutine and only
+	// check the panic flag.
+	go e.Run() //nolint:errcheck
+	if !<-panicked {
+		t.Fatal("negative advance did not panic")
+	}
+}
+
+func TestDeterministicLongInterleaving(t *testing.T) {
+	run := func() []int64 {
+		e := New()
+		var log []int64
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Go(fmt.Sprint(i), int64(i), func(p *Proc) {
+				for k := 0; k < 50; k++ {
+					p.Advance(int64((i*7+k*13)%29 + 1))
+					log = append(log, int64(i)*1_000_000+p.Now())
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

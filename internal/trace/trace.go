@@ -1,0 +1,141 @@
+// Package trace records the deterministic total order of synchronization
+// events a runtime produces. Two runs of a deterministic runtime must
+// produce byte-identical traces — across repetitions, schedule
+// perturbation, and real-vs-simulated hosts — which the integration tests
+// assert via the rolling hash.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+// Op names a synchronization event kind.
+type Op string
+
+// Synchronization event kinds.
+const (
+	OpLock    Op = "lock"
+	OpUnlock  Op = "unlock"
+	OpWait    Op = "wait"
+	OpSignal  Op = "signal"
+	OpBcast   Op = "broadcast"
+	OpBarrier Op = "barrier"
+	OpSpawn   Op = "spawn"
+	OpJoin    Op = "join"
+	OpExit    Op = "exit"
+	OpCommit  Op = "commit"
+)
+
+// Event is one entry in the deterministic total order.
+type Event struct {
+	Seq   int64 // position in the total order
+	Tid   int   // acting thread
+	Op    Op
+	Obj   uint64 // object identity (mutex/cond/barrier id, child tid, ...)
+	Clock int64  // acting thread's logical clock
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%06d t%02d %-9s obj=%d clk=%d", e.Seq, e.Tid, e.Op, e.Obj, e.Clock)
+}
+
+// Recorder accumulates events and a rolling FNV-1a hash of their canonical
+// encoding. Safe for concurrent use (events arrive token-serialized, but
+// the recorder does not rely on that).
+type Recorder struct {
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+	hash   uint64
+	// keep bounds memory when recording long runs
+	keep int
+}
+
+// New creates a recorder. keep bounds how many events are retained for
+// inspection (0 = all); the hash always covers every event.
+func New(keep int) *Recorder {
+	h := fnv.New64a()
+	return &Recorder{hash: h.Sum64(), keep: keep}
+}
+
+// Record appends an event, assigning its sequence number.
+func (r *Recorder) Record(tid int, op Op, obj uint64, clock int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := Event{Seq: r.seq, Tid: tid, Op: op, Obj: obj, Clock: clock}
+	r.seq++
+	r.hash = mix(r.hash, e)
+	if r.keep == 0 || len(r.events) < r.keep {
+		r.events = append(r.events, e)
+	}
+}
+
+// mix folds an event into the rolling hash. Clock values are included:
+// under a deterministic runtime the logical clocks at sync points are part
+// of the guaranteed-reproducible state.
+func mix(h uint64, e Event) uint64 {
+	const prime = 1099511628211
+	for _, v := range []uint64{uint64(e.Seq), uint64(e.Tid), uint64(e.Clock), e.Obj} {
+		h = (h ^ v) * prime
+	}
+	for i := 0; i < len(e.Op); i++ {
+		h = (h ^ uint64(e.Op[i])) * prime
+	}
+	return h
+}
+
+// Hash returns the rolling hash over all recorded events.
+func (r *Recorder) Hash() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hash
+}
+
+// Len returns the number of events recorded.
+func (r *Recorder) Len() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Events returns the retained event prefix.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diff returns a description of the first divergence between two traces,
+// or "" if the retained prefixes and hashes agree.
+func Diff(a, b *Recorder) string {
+	ae, be := a.Events(), b.Events()
+	n := len(ae)
+	if len(be) < n {
+		n = len(be)
+	}
+	for i := 0; i < n; i++ {
+		if ae[i] != be[i] {
+			return fmt.Sprintf("event %d differs:\n  a: %s\n  b: %s", i, ae[i], be[i])
+		}
+	}
+	if a.Len() != b.Len() {
+		return fmt.Sprintf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	if a.Hash() != b.Hash() {
+		return "hashes differ beyond retained prefix"
+	}
+	return ""
+}

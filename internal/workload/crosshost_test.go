@@ -1,0 +1,58 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/host"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+	"repro/internal/workload"
+)
+
+// TestCrossHostTraceEquality is the strongest determinism statement the
+// repository makes: for real benchmark programs, the *entire
+// synchronization order* (every lock, unlock, wait, signal, barrier,
+// spawn, join, exit — with logical clocks) is identical between the
+// discrete-event simulator and actual parallel goroutine execution under
+// schedule perturbation. A representative from each workload class runs
+// here; the full matrix lives in the figure harness.
+func TestCrossHostTraceEquality(t *testing.T) {
+	benches := []string{"reverse_index", "ferret", "ocean_cp", "kmeans", "histogram"}
+	if testing.Short() {
+		benches = benches[:2]
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			spec, err := workload.ByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := workload.Params{Threads: 4, Scale: 1, Seed: 21}
+			runOn := func(h host.Host) (uint64, uint64) {
+				c := det.Default()
+				c.SegmentSize = spec.SegmentSize(p)
+				rt, err := det.New(c, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rt.Run(spec.Prog(p)); err != nil {
+					t.Fatal(err)
+				}
+				return rt.Checksum(), rt.Trace().Hash()
+			}
+			simSum, simTrace := runOn(simhost.New(costmodel.Default()))
+			realSum, realTrace := runOn(realhost.New(80*time.Microsecond, 31))
+			if simSum != realSum {
+				t.Errorf("%s: memory diverges between hosts (%x vs %x)", bench, simSum, realSum)
+			}
+			if simTrace != realTrace {
+				t.Errorf("%s: sync order diverges between hosts (%x vs %x)", bench, simTrace, realTrace)
+			}
+		})
+	}
+}

@@ -1,0 +1,463 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/api"
+)
+
+// Phoenix suite: map-reduce style kernels. Mostly embarrassingly parallel
+// scans with a final reduction; kmeans adds per-iteration fork-join and
+// word_count / reverse_index add hash-bucket locking.
+
+// Layout conventions: page 0 is the result page every program writes its
+// final values to (so checksums observe program output), input and
+// per-thread regions follow at page-aligned offsets.
+
+const pg = 4096
+
+// histogram: scan a byte array counting 256 bins per thread locally, then
+// merge into the global bins under one mutex. Embarrassingly parallel.
+func histogram() Spec {
+	return Spec{
+		Name:  "histogram",
+		Suite: "phoenix",
+		Class: ClassEP,
+		SegmentSize: func(p Params) int {
+			return 16*pg + (p.Threads+1)*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := 256 * 1024 * p.scale()
+			binsOff := pg // global bins: 256 * 8 bytes
+			return func(t api.T) {
+				m := t.NewMutex()
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(n, p.Threads, id)
+						var bins [256]uint64
+						buf := make([]byte, pg)
+						for off := lo; off < hi; off += pg {
+							c := hi - off
+							if c > pg {
+								c = pg
+							}
+							inputBlock(t, p.Seed, off, buf[:c])
+							for _, b := range buf[:c] {
+								bins[b]++
+							}
+							t.Compute(int64(20 * c))
+						}
+						// Merge into the global bins.
+						t.Lock(m)
+						for i, v := range bins {
+							if v != 0 {
+								api.AddU64(t, binsOff+8*i, v)
+							}
+						}
+						t.Unlock(m)
+					}
+				})
+				// Result: total count (must equal n).
+				var total uint64
+				for i := 0; i < 256; i++ {
+					total += api.U64(t, binsOff+8*i)
+				}
+				api.PutU64(t, 0, total)
+			}
+		},
+	}
+}
+
+// linearRegression: tiny EP kernel summing five statistics over (x,y)
+// pairs; the paper notes its total runtime is so short (<500ms) that fixed
+// overheads dominate.
+func linearRegression() Spec {
+	return Spec{
+		Name:  "linear_regression",
+		Suite: "phoenix",
+		Class: ClassEP,
+		SegmentSize: func(p Params) int {
+			return 16 * pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := 32 * 1024 * p.scale() // bytes; pairs of bytes are (x,y)
+			return func(t api.T) {
+				m := t.NewMutex()
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(n/2, p.Threads, id)
+						var sx, sy, sxx, syy, sxy uint64
+						buf := make([]byte, pg)
+						for off := lo * 2; off < hi*2; off += pg {
+							c := hi*2 - off
+							if c > pg {
+								c = pg
+							}
+							inputBlock(t, p.Seed, off, buf[:c])
+							for i := 0; i+1 < c; i += 2 {
+								x, y := uint64(buf[i]), uint64(buf[i+1])
+								sx += x
+								sy += y
+								sxx += x * x
+								syy += y * y
+								sxy += x * y
+							}
+							t.Compute(int64(6 * c))
+						}
+						t.Lock(m)
+						api.AddU64(t, 8, sx)
+						api.AddU64(t, 16, sy)
+						api.AddU64(t, 24, sxx)
+						api.AddU64(t, 32, syy)
+						api.AddU64(t, 40, sxy)
+						t.Unlock(m)
+					}
+				})
+				api.PutU64(t, 0, api.U64(t, 8)^api.U64(t, 40))
+			}
+		},
+	}
+}
+
+// stringMatch: EP scan for key occurrences; per-thread counters land on
+// private pages, no locks at all.
+func stringMatch() Spec {
+	return Spec{
+		Name:  "string_match",
+		Suite: "phoenix",
+		Class: ClassEP,
+		SegmentSize: func(p Params) int {
+			return 16*pg + (p.Threads+1)*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := 192 * 1024 * p.scale()
+			slotOff := func(id int) int { return 16*pg + (id+1)*pg - pg }
+			keys := [][]byte{[]byte("key0"), []byte("abcd"), []byte("zz91")}
+			return func(t api.T) {
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(n, p.Threads, id)
+						count := uint64(0)
+						buf := make([]byte, pg)
+						for off := lo; off < hi; off += pg {
+							c := hi - off
+							if c > pg {
+								c = pg
+							}
+							inputBlock(t, p.Seed, off, buf[:c])
+							for _, k := range keys {
+								for i := 0; i+len(k) <= c; i += 7 {
+									match := true
+									for j := range k {
+										if buf[i+j] != k[j] {
+											match = false
+											break
+										}
+									}
+									if match {
+										count++
+									}
+								}
+							}
+							t.Compute(int64(25 * c))
+						}
+						api.PutU64(t, slotOff(id), count)
+					}
+				})
+				var total uint64
+				for id := 0; id < p.Threads; id++ {
+					total += api.U64(t, slotOff(id))
+				}
+				api.PutU64(t, 0, total)
+			}
+		},
+	}
+}
+
+// matrixMultiply: EP row-band matrix product; each worker writes a
+// disjoint, page-aligned band of C.
+func matrixMultiply() Spec {
+	dim := func(p Params) int { return 48 * p.scale() }
+	return Spec{
+		Name:  "matrix_multiply",
+		Suite: "phoenix",
+		Class: ClassEP,
+		SegmentSize: func(p Params) int {
+			n := dim(p)
+			return 16*pg + n*n*8 + 3*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := dim(p)
+			cOff := 16 * pg
+			return func(t api.T) {
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(n, p.Threads, id)
+						rowA := make([]byte, n*8)
+						rowB := make([]byte, n*8)
+						out := make([]byte, n*8)
+						for r := lo; r < hi; r++ {
+							// A and B are read-only inputs (mmap'd files in
+							// Phoenix); one representative row read each.
+							inputBlock(t, p.Seed, r*n*8, rowA)
+							inputBlock(t, p.Seed+1, (r%n)*n*8, rowB)
+							var acc uint64
+							for i := 0; i < n*8; i += 8 {
+								acc += binary.LittleEndian.Uint64(rowA[i:]) ^
+									binary.LittleEndian.Uint64(rowB[i:])
+								binary.LittleEndian.PutUint64(out[i:], acc)
+							}
+							t.Compute(int64(20 * n * n)) // n cells × n FLOPs each
+							t.Write(out, cOff+r*n*8)
+						}
+					}
+				})
+				api.PutU64(t, 0, api.U64(t, cOff)^api.U64(t, cOff+(n*n-1)*8))
+			}
+		},
+	}
+}
+
+// pca: two phases (means, then covariance samples) separated by a barrier,
+// with a mutex-protected global accumulator. Workers write their rows'
+// means into one shared page — real page-level write sharing.
+func pca() Spec {
+	rows := func(p Params) int { return 128 * p.scale() }
+	const cols = 64
+	return Spec{
+		Name:  "pca",
+		Suite: "phoenix",
+		Class: ClassEP,
+		SegmentSize: func(p Params) int {
+			r := rows(p)
+			return 16*pg + r*8 + 4*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			r := rows(p)
+			meansOff := 16 * pg
+			return func(t api.T) {
+				m := t.NewMutex()
+				bar := t.NewBarrier(p.Threads)
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(r, p.Threads, id)
+						row := make([]byte, cols*8)
+						// Phase 1: row means (written to a shared page).
+						var local uint64
+						for i := lo; i < hi; i++ {
+							inputBlock(t, p.Seed, i*cols*8, row)
+							var s uint64
+							for c := 0; c < cols*8; c += 8 {
+								s += binary.LittleEndian.Uint64(row[c:])
+							}
+							t.Compute(cols * 24)
+							api.PutU64(t, meansOff+8*i, s/cols)
+							local += s
+						}
+						t.Lock(m)
+						api.AddU64(t, 8, local)
+						t.Unlock(m)
+						t.BarrierWait(bar)
+						// Phase 2: covariance samples against the means.
+						var cov uint64
+						for i := lo; i < hi; i++ {
+							mean := api.U64(t, meansOff+8*i)
+							inputBlock(t, p.Seed, i*cols*8, row)
+							for c := 0; c < cols*8; c += 8 {
+								d := binary.LittleEndian.Uint64(row[c:]) - mean
+								cov += d * d
+							}
+							t.Compute(cols * 36)
+						}
+						t.Lock(m)
+						api.AddU64(t, 16, cov)
+						t.Unlock(m)
+					}
+				})
+				api.PutU64(t, 0, api.U64(t, 8)^api.U64(t, 16))
+			}
+		},
+	}
+}
+
+// kmeans: fork-join per iteration (Phoenix re-creates its worker pool each
+// pass) — the benchmark that motivates thread reuse (§3.3) — plus
+// centroid pages every worker reads and the root rewrites.
+func kmeans() Spec {
+	const k, dims = 8, 4
+	points := func(p Params) int { return 4096 * p.scale() }
+	return Spec{
+		Name:  "kmeans",
+		Suite: "phoenix",
+		Class: ClassOther,
+		SegmentSize: func(p Params) int {
+			return 16*pg + (p.Threads+2)*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := points(p)
+			centOff := pg                                        // k*dims*8 = 256B
+			sumsOff := func(id int) int { return 16*pg + id*pg } // per-worker page
+			const iters = 8
+			return func(t api.T) {
+				// Initial centroids.
+				for c := 0; c < k*dims; c++ {
+					api.PutU64(t, centOff+8*c, uint64(c*37+11))
+				}
+				for it := 0; it < iters; it++ {
+					spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+						return func(t api.T) {
+							cent := make([]byte, k*dims*8)
+							t.Read(cent, centOff)
+							lo, hi := chunkRange(n, p.Threads, id)
+							sums := make([]uint64, k*(dims+1))
+							buf := make([]byte, 256*dims)
+							for off := lo; off < hi; off += 256 {
+								c := hi - off
+								if c > 256 {
+									c = 256
+								}
+								inputBlock(t, p.Seed, off*dims, buf[:c*dims])
+								for i := 0; i < c; i++ {
+									best := int(buf[i*dims]) % k
+									sums[best*(dims+1)]++
+									for d := 0; d < dims; d++ {
+										sums[best*(dims+1)+d] += uint64(buf[i*dims+d])
+									}
+								}
+								t.Compute(int64(3 * c * k * dims))
+							}
+							out := make([]byte, len(sums)*8)
+							for i, v := range sums {
+								binary.LittleEndian.PutUint64(out[8*i:], v)
+							}
+							t.Write(out, sumsOff(id))
+						}
+					})
+					// Root folds partial sums and rewrites the centroids.
+					for c := 0; c < k; c++ {
+						var cnt, acc uint64
+						for id := 0; id < p.Threads; id++ {
+							base := sumsOff(id) + c*(dims+1)*8
+							cnt += api.U64(t, base)
+							acc += api.U64(t, base+8)
+						}
+						if cnt == 0 {
+							cnt = 1
+						}
+						api.PutU64(t, centOff+8*c*dims, acc/cnt)
+					}
+					t.Compute(int64(k * dims * p.Threads))
+				}
+				api.PutU64(t, 0, api.U64(t, centOff)+uint64(iters))
+			}
+		},
+	}
+}
+
+// wordCount: hash-bucket inserts under per-bucket locks; medium critical
+// sections at a moderate rate.
+func wordCount() Spec {
+	const buckets = 16
+	return Spec{
+		Name:  "word_count",
+		Suite: "phoenix",
+		Class: ClassOther,
+		SegmentSize: func(p Params) int {
+			return 16*pg + (buckets+1)*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			n := 128 * 1024 * p.scale()
+			bucketOff := func(b int) int { return 16*pg + b*pg }
+			return func(t api.T) {
+				var locks [buckets]api.Mutex
+				for i := range locks {
+					locks[i] = t.NewMutex()
+				}
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						lo, hi := chunkRange(n, p.Threads, id)
+						buf := make([]byte, 2048)
+						// Word density differs across file regions, so
+						// threads reach their bucket locks at different
+						// rates.
+						perByte := []int64{30, 45, 60, 150}[id%4]
+						for off := lo; off < hi; off += 2048 {
+							c := hi - off
+							if c > 2048 {
+								c = 2048
+							}
+							inputBlock(t, p.Seed, off, buf[:c])
+							t.Compute(perByte * int64(c))
+							// ~2 "words" per chunk: insert each under its
+							// bucket lock.
+							for w := 0; w < 2 && w*1024 < c; w++ {
+								word := buf[w*1024]
+								b := int(word) % buckets
+								t.Lock(locks[b])
+								slot := bucketOff(b) + int(word)*8
+								api.AddU64(t, slot, 1)
+								t.Unlock(locks[b])
+							}
+						}
+					}
+				})
+				var total uint64
+				for b := 0; b < buckets; b++ {
+					for wv := 0; wv < 256; wv++ {
+						total += api.U64(t, bucketOff(b)+wv*8)
+					}
+				}
+				api.PutU64(t, 0, total)
+			}
+		},
+	}
+}
+
+// reverseIndex: the paper's fine-grained-locking stress — many locks,
+// very short critical sections, high sync rate. This is where single
+// -global-lock baselines and round-robin ordering fall apart and where
+// coarsening matters most.
+func reverseIndex() Spec {
+	const locks = 64
+	return Spec{
+		Name:  "reverse_index",
+		Suite: "phoenix",
+		Class: ClassOther,
+		SegmentSize: func(p Params) int {
+			return 16*pg + (locks+1)*pg
+		},
+		Prog: func(p Params) func(api.T) {
+			linksPerThread := 128 * p.scale()
+			tabOff := func(l int) int { return 16*pg + l*pg }
+			return func(t api.T) {
+				var lk [locks]api.Mutex
+				for i := range lk {
+					lk[i] = t.NewMutex()
+				}
+				spawnWorkers(t, p.Threads, func(id int) func(api.T) {
+					return func(t api.T) {
+						rng := rand.New(rand.NewSource(p.Seed ^ int64(id)*7919))
+						// Documents differ in size per thread (files are
+						// partitioned by directory in Phoenix), so threads
+						// synchronize at mismatched rates — the situation
+						// where round-robin ordering collapses (Figure 1b).
+						docCost := []int64{10_000, 16_000, 24_000, 60_000}[id%4]
+						for i := 0; i < linksPerThread; i++ {
+							t.Compute(docCost) // extract links from one document
+							l := rng.Intn(locks)
+							t.Lock(lk[l])
+							api.AddU64(t, tabOff(l)+8*(i%128), uint64(id+1))
+							t.Unlock(lk[l])
+						}
+					}
+				})
+				var total uint64
+				for l := 0; l < locks; l++ {
+					total += api.U64(t, tabOff(l))
+				}
+				api.PutU64(t, 0, total)
+			}
+		},
+	}
+}

@@ -1,0 +1,140 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/baseline/dthreads"
+	"repro/internal/baseline/dwc"
+	"repro/internal/baseline/pth"
+	"repro/internal/baseline/rfdet"
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/host"
+	"repro/internal/host/simhost"
+	"repro/internal/workload"
+)
+
+func makeRuntime(t *testing.T, name string, segSize int, h host.Host) api.Runtime {
+	t.Helper()
+	var rt api.Runtime
+	var err error
+	m := costmodel.Default()
+	switch name {
+	case "consequence-ic":
+		c := det.Default()
+		c.SegmentSize = segSize
+		rt, err = det.New(c, h)
+	case "consequence-rr":
+		c := det.Default()
+		c.Policy = 1 // clock.PolicyRR
+		c.SegmentSize = segSize
+		rt, err = det.New(c, h)
+	case "dthreads":
+		rt, err = dthreads.New(dthreads.Config{SegmentSize: segSize, Model: m}, h)
+	case "dwc":
+		rt, err = dwc.New(dwc.Config{SegmentSize: segSize, Model: m}, h)
+	case "pthreads":
+		rt, err = pth.New(pth.Config{SegmentSize: segSize, Model: m}, h)
+	case "rfdet-lrc":
+		rt, err = rfdet.New(rfdet.Config{SegmentSize: segSize, Model: m}, h)
+	default:
+		t.Fatalf("unknown runtime %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestEveryBenchmarkOnEveryRuntime is the big cross-product smoke test:
+// all 19 programs complete on all six runtimes on the simulation host.
+func TestEveryBenchmarkOnEveryRuntime(t *testing.T) {
+	runtimes := []string{"consequence-ic", "consequence-rr", "dthreads", "dwc", "pthreads", "rfdet-lrc"}
+	for _, spec := range workload.All() {
+		for _, rtName := range runtimes {
+			spec, rtName := spec, rtName
+			t.Run(spec.Name+"/"+rtName, func(t *testing.T) {
+				t.Parallel()
+				p := workload.Params{Threads: 4, Scale: 1, Seed: 12345}
+				rt := makeRuntime(t, rtName, spec.SegmentSize(p), simhost.New(costmodel.Default()))
+				if err := rt.Run(spec.Prog(p)); err != nil {
+					t.Fatalf("%s on %s: %v", spec.Name, rtName, err)
+				}
+				st := rt.Stats()
+				if st.WallNS <= 0 {
+					t.Errorf("no time elapsed: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestBenchmarksDeterministicOnDetRuntimes: repeated sim runs of each
+// program on each deterministic runtime agree on memory checksums.
+func TestBenchmarksDeterministicOnDetRuntimes(t *testing.T) {
+	runtimes := []string{"consequence-ic", "consequence-rr", "dthreads", "dwc", "rfdet-lrc"}
+	for _, spec := range workload.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p := workload.Params{Threads: 3, Scale: 1, Seed: 7}
+			for _, rtName := range runtimes {
+				var sums []uint64
+				for rep := 0; rep < 2; rep++ {
+					rt := makeRuntime(t, rtName, spec.SegmentSize(p), simhost.New(costmodel.Default()))
+					if err := rt.Run(spec.Prog(p)); err != nil {
+						t.Fatalf("%s/%s: %v", spec.Name, rtName, err)
+					}
+					sums = append(sums, rt.Checksum())
+				}
+				if sums[0] != sums[1] {
+					t.Errorf("%s on %s: nondeterministic (%x vs %x)", spec.Name, rtName, sums[0], sums[1])
+				}
+			}
+		})
+	}
+}
+
+// TestOddThreadCounts: uneven partitions must still terminate and agree.
+func TestOddThreadCounts(t *testing.T) {
+	for _, spec := range workload.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, threads := range []int{1, 2, 5} {
+				p := workload.Params{Threads: threads, Scale: 1, Seed: 3}
+				rt := makeRuntime(t, "consequence-ic", spec.SegmentSize(p), simhost.New(costmodel.Default()))
+				if err := rt.Run(spec.Prog(p)); err != nil {
+					t.Fatalf("%s threads=%d: %v", spec.Name, threads, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if n := len(workload.All()); n != 19 {
+		t.Fatalf("suite has %d benchmarks, want 19 (the paper's count)", n)
+	}
+	seen := map[string]bool{}
+	for _, s := range workload.All() {
+		if seen[s.Name] {
+			t.Errorf("duplicate benchmark %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Suite != "phoenix" && s.Suite != "parsec" && s.Suite != "splash2" {
+			t.Errorf("%s: bad suite %q", s.Name, s.Suite)
+		}
+		p := workload.Params{Threads: 2, Scale: 1}
+		if s.SegmentSize(p) <= 0 {
+			t.Errorf("%s: non-positive segment size", s.Name)
+		}
+	}
+	if _, err := workload.ByName("ferret"); err != nil {
+		t.Error(err)
+	}
+	if _, err := workload.ByName("no-such"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
