@@ -1,0 +1,18 @@
+# `make check` is the pre-PR gate (see README): gofmt, vet, build, test.
+
+.PHONY: check build test fmt figures
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+fmt:
+	gofmt -w .
+
+figures:
+	go run ./cmd/consequence-bench -fig all

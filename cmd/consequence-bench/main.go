@@ -8,6 +8,13 @@
 //	consequence-bench -fig all           # figures 10–16
 //	consequence-bench -fig 11 -threads 2,4,8,16,32 -scale 2
 //
+// Any single figure cell (benchmark × runtime × thread count) can also be
+// rerun with the observability layer attached, emitting a phase-resolved
+// Chrome trace for chrome://tracing / Perfetto:
+//
+//	consequence-bench -fig none -trace /tmp/cell.json \
+//	    -trace-bench ferret -trace-runtime consequence-ic -threads 8
+//
 // Every table is a deterministic function of the flags: rerunning prints
 // byte-identical output.
 package main
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +37,9 @@ func main() {
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	seed := flag.Int64("seed", 42, "input seed")
 	minPages := flag.Int64("fig16-min-pages", 500, "figure 16 qualification cutoff (TSO pages propagated)")
+	traceOut := flag.String("trace", "", "write a Chrome trace of one observed cell to this file")
+	traceBench := flag.String("trace-bench", "ferret", "benchmark for the observed cell")
+	traceRuntime := flag.String("trace-runtime", string(harness.KindConsequenceIC), "runtime for the observed cell (consequence-ic | consequence-rr)")
 	flag.Parse()
 
 	var ths []int
@@ -74,6 +85,35 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(text)
+	}
+
+	if *traceOut != "" {
+		o := obs.New()
+		res, err := harness.Run(harness.Options{
+			Bench:    *traceBench,
+			Runtime:  harness.Kind(*traceRuntime),
+			Threads:  ths[0],
+			Scale:    *scale,
+			Seed:     *seed,
+			Observer: o,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", *traceRuntime, *traceBench, ths[0], *scale, *seed)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.WriteChromeTrace(f, name); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observed cell %s: wall %.3f ms, checksum %016x — trace written to %s\n",
+			name, float64(res.WallNS)/1e6, res.Checksum, *traceOut)
 	}
 
 	if *table != "" {

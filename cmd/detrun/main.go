@@ -10,6 +10,8 @@
 //	detrun -bench ferret -runtime consequence-ic -threads 8
 //	detrun -bench canneal -runtime dthreads -verify
 //	detrun -bench histogram -runtime pthreads       # nondeterministic ref
+//	detrun -bench ferret -trace /tmp/ferret.json    # Chrome/Perfetto trace
+//	detrun -bench ferret -metrics                   # metrics snapshot
 //	detrun -list
 package main
 
@@ -31,6 +33,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/host/realhost"
 	"repro/internal/host/simhost"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,7 +47,9 @@ func main() {
 	verify := flag.Bool("verify", false, "run repeatedly (sim + perturbed real host) and check determinism")
 	compare := flag.Bool("compare", false, "run the benchmark on every runtime and tabulate")
 	useReal := flag.Bool("real", false, "run on the real (goroutine) host instead of the simulator")
-	dumpTrace := flag.Int("trace", 0, "dump the first N sync-order events")
+	traceOut := flag.String("trace", "", "write a phase-resolved Chrome trace (chrome://tracing / Perfetto JSON) to this file")
+	metrics := flag.Bool("metrics", false, "print the observability metrics snapshot after the run")
+	dumpTrace := flag.Int("dump-sync", 0, "dump the first N sync-order events")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -75,6 +80,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var observer *obs.Observer
+	if *traceOut != "" || *metrics {
+		observer = attachObserver(rt)
+		if observer == nil {
+			fatal(fmt.Errorf("runtime %q does not support observability (consequence and dwc runtimes do)", *rtName))
+		}
+	}
 	start := time.Now()
 	if err := rt.Run(spec.Prog(p)); err != nil {
 		fatal(err)
@@ -103,6 +115,46 @@ func main() {
 			fmt.Println("  ", e)
 		}
 	}
+	if *traceOut != "" {
+		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", rt.Name(), spec.Name, *threads, *scale, *seed)
+		if err := writeTraceFile(*traceOut, observer, name); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace json  %s (%d threads observed)\n", *traceOut, len(observer.Lanes()))
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		for _, s := range observer.Registry().Snapshot() {
+			fmt.Println("  ", s)
+		}
+	}
+}
+
+// attachObserver attaches a fresh observer to runtimes that support one
+// (the det-based runtimes: consequence-ic/rr and dwc). Returns nil
+// otherwise.
+func attachObserver(rt api.Runtime) *obs.Observer {
+	type observable interface{ SetObserver(*obs.Observer) }
+	or, ok := rt.(observable)
+	if !ok {
+		return nil
+	}
+	o := obs.New()
+	or.SetObserver(o)
+	return o
+}
+
+// writeTraceFile exports the observer's timeline as Chrome trace JSON.
+func writeTraceFile(path string, o *obs.Observer, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteChromeTrace(f, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runVerify demonstrates determinism: repeated sim runs and (for det

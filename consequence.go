@@ -35,6 +35,7 @@ package consequence
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/api"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/host/realhost"
 	"repro/internal/host/simhost"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -84,6 +86,7 @@ type options struct {
 	sim     bool
 	perturb time.Duration
 	seed    int64
+	observe bool
 }
 
 // WithSegmentSize sets the shared segment size in bytes (default 16 MiB).
@@ -152,6 +155,16 @@ func WithDetConfig(f func(*det.Config)) Option {
 	return func(o *options) { f(&o.cfg) }
 }
 
+// WithObservability attaches the runtime observability layer: a metrics
+// registry and a per-thread phase timeline, retrievable after (or during)
+// the run via Runtime.Observer and exportable as Chrome trace-event JSON
+// via Runtime.WriteTrace. Observability never changes results — sync
+// order, memory state, and Stats are identical with it on or off; without
+// this option the instrumentation compiles down to nil-check fast paths.
+func WithObservability() Option {
+	return func(o *options) { o.observe = true }
+}
+
 // Runtime is one deterministic execution context. Create with New; a
 // Runtime runs one program (Run may be called once).
 type Runtime struct {
@@ -179,6 +192,9 @@ func New(opts ...Option) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.observe {
+		rt.SetObserver(obs.New())
+	}
 	return &Runtime{rt: rt, h: h}, nil
 }
 
@@ -199,6 +215,23 @@ func (r *Runtime) Trace() *trace.Recorder { return r.rt.Trace() }
 
 // Stats reports the run's accumulated statistics.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// Observer returns the observability layer attached by WithObservability,
+// or nil. Its registry (metrics) may be snapshotted mid-run; its timeline
+// lanes must only be read after Run returns.
+func (r *Runtime) Observer() *obs.Observer { return r.rt.Observer() }
+
+// WriteTrace exports the observed phase timeline as Chrome trace-event
+// JSON (loadable in chrome://tracing or Perfetto), one lane per thread.
+// name labels the process in the viewer. It is an error if the runtime
+// was created without WithObservability.
+func (r *Runtime) WriteTrace(w io.Writer, name string) error {
+	o := r.rt.Observer()
+	if o == nil {
+		return fmt.Errorf("consequence: WriteTrace requires WithObservability")
+	}
+	return o.WriteChromeTrace(w, name)
+}
 
 // Typed accessors over the byte-addressed segment, re-exported from the
 // program API for convenience.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/host"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -178,6 +179,7 @@ type Runtime struct {
 	seg   *mem.Segment
 	rec   *trace.Recorder
 	hooks Hooks
+	obs   *obs.Observer
 
 	mu      sync.Mutex // guards threads map and pool
 	threads map[int]*Thread
@@ -239,6 +241,62 @@ func (rt *Runtime) SetHooks(h Hooks) {
 	rt.hooks = h
 }
 
+// SetObserver attaches an observability layer; must be called before Run
+// (pass nil to detach). Attaching registers func gauges that subsume the
+// pre-existing ad-hoc counters — the memory substrate's Segment.Stats,
+// the arbiter's Arbiter.Stats, and the runtime's own aggregates — under
+// the observer's single snapshot API, and makes every thread record
+// phase spans into its timeline lane. An attached observer never changes
+// runtime behaviour: sync order, logical clocks, memory state and
+// RunStats are identical with and without it (asserted by
+// TestObserverDoesNotPerturbDeterminism).
+func (rt *Runtime) SetObserver(o *obs.Observer) {
+	if rt.started {
+		panic("det: SetObserver after Run")
+	}
+	rt.obs = o
+	if o == nil {
+		return
+	}
+	r := o.Registry()
+	memFunc := func(f func(mem.Stats) int64) func() int64 {
+		return func() int64 { return f(rt.seg.Stats()) }
+	}
+	r.Func("mem_faults", memFunc(func(s mem.Stats) int64 { return s.Faults }))
+	r.Func("mem_versions", memFunc(func(s mem.Stats) int64 { return s.Versions }))
+	r.Func("mem_committed_pages", memFunc(func(s mem.Stats) int64 { return s.CommittedPages }))
+	r.Func("mem_merged_pages", memFunc(func(s mem.Stats) int64 { return s.MergedPages }))
+	r.Func("mem_diff_bytes", memFunc(func(s mem.Stats) int64 { return s.DiffBytes }))
+	r.Func("mem_pulled_pages", memFunc(func(s mem.Stats) int64 { return s.PulledPages }))
+	r.Func("mem_gc_runs", memFunc(func(s mem.Stats) int64 { return s.GCRuns }))
+	r.Func("mem_gc_reclaimed_pages", memFunc(func(s mem.Stats) int64 { return s.GCReclaimedPages }))
+	r.Func("mem_cur_pages", memFunc(func(s mem.Stats) int64 { return s.CurPages }))
+	r.Func("mem_peak_pages", memFunc(func(s mem.Stats) int64 { return s.PeakPages }))
+	arbFunc := func(f func(clock.Stats) int64) func() int64 {
+		return func() int64 { return f(rt.arb.Stats()) }
+	}
+	r.Func("clock_token_grants", arbFunc(func(s clock.Stats) int64 { return s.Grants }))
+	r.Func("clock_departs", arbFunc(func(s clock.Stats) int64 { return s.Departs }))
+	r.Func("clock_fast_forwards", arbFunc(func(s clock.Stats) int64 { return s.FastForwards }))
+	r.Func("clock_fast_forward_skip", arbFunc(func(s clock.Stats) int64 { return s.FastForwardSkip }))
+	aggFunc := func(f func(api.RunStats) int64) func() int64 {
+		return func() int64 {
+			rt.aggMu.Lock()
+			defer rt.aggMu.Unlock()
+			return f(rt.agg.RunStats)
+		}
+	}
+	r.Func("det_threads_spawned", aggFunc(func(s api.RunStats) int64 { return s.ThreadsSpawned }))
+	r.Func("det_threads_reused", aggFunc(func(s api.RunStats) int64 { return s.ThreadsReused }))
+	r.Func("det_local_work_ns", aggFunc(func(s api.RunStats) int64 { return s.LocalWorkNS }))
+	r.Func("det_determ_wait_ns", aggFunc(func(s api.RunStats) int64 { return s.DetermWaitNS }))
+	r.Func("det_barrier_wait_ns", aggFunc(func(s api.RunStats) int64 { return s.BarrierWaitNS }))
+	r.Func("det_commit_ns", aggFunc(func(s api.RunStats) int64 { return s.CommitNS }))
+}
+
+// Observer returns the attached observability layer, or nil.
+func (rt *Runtime) Observer() *obs.Observer { return rt.obs }
+
 // Name implements api.Runtime.
 func (rt *Runtime) Name() string {
 	if rt.cfg.NameOverride != "" {
@@ -293,6 +351,19 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
 	}
 	t.coarse.maxChunk = rt.cfg.MaxChunkInit
+	if o := rt.obs; o != nil {
+		// Per-thread instruments, cached so the hot paths pay one nil
+		// check (lane) or one atomic add (counters), never a registry
+		// lookup.
+		r := o.Registry()
+		t.lane = o.Lane(tid)
+		tl := obs.L("tid", tid)
+		t.mSyncOps = r.Counter("det_sync_ops", tl)
+		t.mCoarsenedOps = r.Counter("det_coarsened_ops", tl)
+		t.mCommits = r.Counter("det_commits", tl)
+		t.hChunk = r.Histogram("det_chunk_instructions", tl)
+		t.mLockAcq = make(map[uint64]*obs.Counter)
+	}
 	rt.mu.Lock()
 	rt.threads[tid] = t
 	rt.mu.Unlock()
@@ -365,22 +436,25 @@ func (rt *Runtime) aggregate(t *Thread) {
 	rt.aggMu.Lock()
 	defer rt.aggMu.Unlock()
 	a := &rt.agg.RunStats
-	a.LocalWorkNS += t.bd.localWork
-	a.DetermWaitNS += t.bd.determWait
-	a.BarrierWaitNS += t.bd.barrierWait
-	a.CommitNS += t.bd.commit
-	a.FaultNS += t.bd.fault
-	a.LibNS += t.bd.lib
+	// Commit and merge are distinct trace phases but one RunStats
+	// category, preserving the seed's Figure 15 breakdown.
+	commitNS := t.bd[obs.PhaseCommit] + t.bd[obs.PhaseMerge]
+	a.LocalWorkNS += t.bd[obs.PhaseCompute]
+	a.DetermWaitNS += t.bd[obs.PhaseTokenWait]
+	a.BarrierWaitNS += t.bd[obs.PhaseBarrierWait]
+	a.CommitNS += commitNS
+	a.FaultNS += t.bd[obs.PhaseFault]
+	a.LibNS += t.bd[obs.PhaseLib]
 	a.SyncOps += t.syncOps
 	a.CoarsenedOps += t.coarsenedOps
 	a.PerThread = append(a.PerThread, api.ThreadTime{
 		Tid:         t.tid,
-		LocalWork:   t.bd.localWork,
-		DetermWait:  t.bd.determWait,
-		BarrierWait: t.bd.barrierWait,
-		Commit:      t.bd.commit,
-		Fault:       t.bd.fault,
-		Lib:         t.bd.lib,
+		LocalWork:   t.bd[obs.PhaseCompute],
+		DetermWait:  t.bd[obs.PhaseTokenWait],
+		BarrierWait: t.bd[obs.PhaseBarrierWait],
+		Commit:      commitNS,
+		Fault:       t.bd[obs.PhaseFault],
+		Lib:         t.bd[obs.PhaseLib],
 	})
 	if now := t.b.Now(); now > a.WallNS {
 		a.WallNS = now

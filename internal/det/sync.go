@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -79,6 +80,7 @@ func (t *Thread) Lock(mx api.Mutex) {
 		if !m.locked {
 			m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
 			t.record(trace.OpLock, m.id)
+			t.noteLockAcquire(m.id)
 			if h := t.rt.hooks; h != nil {
 				h.OnAcquire(t.tid, m.id)
 			}
@@ -171,6 +173,7 @@ func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 	}
 	m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
 	t.record(trace.OpLock, m.id)
+	t.noteLockAcquire(m.id)
 	if h := t.rt.hooks; h != nil {
 		h.OnAcquire(t.tid, m.id)
 	}
@@ -224,7 +227,10 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 		t.acquireToken()
 		t.mimdAdapt()
 	}
-	t.coarse.active = false // barrier terminates coarsening; commit below
+	if t.coarse.active {
+		t.mark(obs.MarkCoarsenEnd, int64(t.coarse.ops))
+		t.coarse.active = false // barrier terminates coarsening; commit below
+	}
 	t.record(trace.OpBarrier, bar.id)
 	m := &t.rt.cfg.Model
 
@@ -240,10 +246,10 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 
 	last := len(bar.waiting) == bar.parties-1
 	if t.rt.cfg.ParallelBarrier {
-		t.account(&t.bd.localWork)
+		t.account(obs.PhaseCompute)
 		pc := t.ws.BeginCommit()
 		st := pc.Stats()
-		t.charge(&t.bd.commit, m.CommitFixed+
+		t.charge(obs.PhaseCommit, m.CommitFixed+
 			int64(st.CommittedPages)*m.CommitPageSerial+
 			int64(st.PulledPages)*m.UpdatePage)
 		if h := t.rt.hooks; h != nil {
@@ -256,14 +262,14 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 			t.releaseTokenRaw()
 			// Phase 2 runs outside the token, in parallel with other
 			// arrivals' merges and with threads not in the barrier.
-			t.charge(&t.bd.commit, int64(st.CommittedPages)*m.CommitPageMerge)
+			t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
 			pc.Complete()
 			t.barrierSleep(bar)
 			return
 		}
 		// Last arrival: finish our merge, then release everyone at one
 		// deterministic version.
-		t.charge(&t.bd.commit, int64(st.CommittedPages)*m.CommitPageMerge)
+		t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
 		pc.Complete()
 		t.rt.seg.CompleteThrough(t.rt.seg.Head())
 		t.barrierRelease(bar)
@@ -291,12 +297,12 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 // where the token is not held.
 func (t *Thread) barrierSleep(bar *dBarrier) {
 	m := &t.rt.cfg.Model
-	t.account(&t.bd.commit)
+	t.account(obs.PhaseCommit)
 	t.b.Block()
-	t.account(&t.bd.barrierWait)
+	t.account(obs.PhaseBarrierWait)
 	t.resyncClock()
 	pulled := t.ws.UpdateTo(t.barrierTarget)
-	t.charge(&t.bd.commit, int64(pulled)*m.UpdatePage)
+	t.charge(obs.PhaseCommit, int64(pulled)*m.UpdatePage)
 	t.lastCommitCount = t.icount
 }
 
@@ -307,7 +313,7 @@ func (t *Thread) barrierRelease(bar *dBarrier) {
 	m := &t.rt.cfg.Model
 	final := t.rt.seg.Head()
 	pulled := t.ws.UpdateTo(final)
-	t.charge(&t.bd.commit, int64(pulled)*m.UpdatePage)
+	t.charge(obs.PhaseCommit, int64(pulled)*m.UpdatePage)
 	t.lastCommitCount = t.icount
 	if h := t.rt.hooks; h != nil {
 		h.OnUpdate(t.tid, t.ws.Version())

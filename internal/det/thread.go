@@ -7,20 +7,16 @@ import (
 	"repro/internal/clock"
 	"repro/internal/host"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
-// breakdown accumulates per-category time for Figure 15. Values are
-// nanoseconds between accounting boundaries (virtual on the simulation
-// host, wall on the real host).
-type breakdown struct {
-	localWork   int64
-	determWait  int64
-	barrierWait int64
-	commit      int64
-	fault       int64
-	lib         int64
-}
+// breakdown accumulates per-phase time for Figure 15, indexed by the
+// obs.Phase time categories. Values are nanoseconds between accounting
+// boundaries (virtual on the simulation host, wall on the real host).
+// obs.PhaseCommit and obs.PhaseMerge fold into RunStats.CommitNS
+// together (see Runtime.aggregate).
+type breakdown [obs.NumTimePhases]int64
 
 // Thread is one deterministic thread. It implements api.T; all methods
 // must be called by the owning thread.
@@ -59,11 +55,30 @@ type Thread struct {
 	prevUnlockID uint64
 	unlockEWMA   map[uint64]*ewma
 
+	// bd accumulates the per-phase time breakdown. lastEvent is the host
+	// time at the last accounting boundary: every call to account/charge
+	// closes the interval [lastEvent, Now) into one obs.Phase bucket and —
+	// when an observer lane is attached — emits that same interval as a
+	// begin/end span on the thread's timeline (the obs span API), so the
+	// Figure 15 aggregates and the phase-resolved trace are two views of
+	// the identical boundaries.
 	bd        breakdown
-	lastEvent int64 // host time at the last accounting boundary
+	lastEvent int64
+	// lane is the thread's observability span ring (nil when no observer
+	// is attached — the disabled fast path is this one nil check).
+	lane *obs.Lane
 
 	syncOps      int64
 	coarsenedOps int64
+	// mSyncOps/mCoarsenedOps/mCommits/hChunk are live per-thread labeled
+	// metrics, non-nil only when an observer is attached. mLockAcq caches
+	// per-(thread, mutex) acquisition counters so the hot path skips the
+	// registry lookup.
+	mSyncOps      *obs.Counter
+	mCoarsenedOps *obs.Counter
+	mCommits      *obs.Counter
+	hChunk        *obs.Histogram
+	mLockAcq      map[uint64]*obs.Counter
 
 	// exit/join state, token-serialized
 	done    bool
@@ -89,19 +104,35 @@ func (t *Thread) start(b host.Binding) {
 // Tid implements api.T.
 func (t *Thread) Tid() int { return t.tid }
 
-// account closes the current accounting interval into *cat.
-func (t *Thread) account(cat *int64) {
+// account closes the current accounting interval into phase p, and emits
+// it as a span when an observer lane is attached. Zero-length intervals
+// (common on the simulation host, where time only moves on Charge) are
+// neither accumulated nor recorded.
+func (t *Thread) account(p obs.Phase) {
 	now := t.b.Now()
-	*cat += now - t.lastEvent
-	t.lastEvent = now
+	if now != t.lastEvent {
+		t.bd[p] += now - t.lastEvent
+		if t.lane != nil {
+			t.lane.Span(p, t.lastEvent, now)
+		}
+		t.lastEvent = now
+	}
 }
 
-// charge elapses modeled time and accounts it to *cat.
-func (t *Thread) charge(cat *int64, ns int64) {
+// charge elapses modeled time and accounts it to phase p.
+func (t *Thread) charge(p obs.Phase, ns int64) {
 	if ns > 0 {
 		t.b.Charge(ns)
 	}
-	t.account(cat)
+	t.account(p)
+}
+
+// mark emits an instantaneous observer marker at the thread's current
+// host time; a no-op without an observer.
+func (t *Thread) mark(p obs.Phase, arg int64) {
+	if t.lane != nil {
+		t.lane.Mark(p, t.b.Now(), arg)
+	}
 }
 
 // deliver wakes the thread granted by an arbiter result.
@@ -171,13 +202,13 @@ func (t *Thread) advance(n int64) {
 					step = t.toOverflow
 					overBudget = false // re-evaluate next round
 				}
-				t.charge(&t.bd.localWork, m.Instr(step))
+				t.charge(obs.PhaseCompute, m.Instr(step))
 				t.icount += step
 				t.pending += step
 				t.toOverflow -= step
 				if t.toOverflow == 0 && t.rt.cfg.Policy == clock.PolicyIC {
 					t.publishPending()
-					t.charge(&t.bd.lib, m.OverflowIRQ)
+					t.charge(obs.PhaseLib, m.OverflowIRQ)
 				}
 			} else {
 				t.icount += step
@@ -188,6 +219,7 @@ func (t *Thread) advance(n int64) {
 		if overBudget && t.holding && t.coarse.active {
 			// End the coarsened chunk mid-stream: publish and hand the
 			// token back.
+			t.mark(obs.MarkCoarsenEnd, int64(t.coarse.ops))
 			t.coarse.active = false
 			t.commitAndUpdate()
 			t.releaseTokenRaw()
@@ -227,8 +259,8 @@ func (t *Thread) Read(buf []byte, off int) {
 func (t *Thread) Write(data []byte, off int) {
 	t.ws.Write(data, off)
 	if f := t.ws.TakeFaults(); f > 0 {
-		t.account(&t.bd.localWork)
-		t.charge(&t.bd.fault, f*t.rt.cfg.Model.PageFault)
+		t.account(obs.PhaseCompute)
+		t.charge(obs.PhaseFault, f*t.rt.cfg.Model.PageFault)
 	}
 	t.advance(memInstr(len(data)))
 	t.maybeForceCommit()
@@ -241,18 +273,18 @@ func (t *Thread) Write(data []byte, off int) {
 func (t *Thread) acquireToken() {
 	m := &t.rt.cfg.Model
 	t.publishPending()
-	t.account(&t.bd.localWork)
+	t.account(obs.PhaseCompute)
 	// End-of-chunk clock read (syscall path; the user-space fast path
 	// applies only inside coarsened chunks, see tokenBegin).
-	t.charge(&t.bd.lib, m.SyscallClockRead)
+	t.charge(obs.PhaseLib, m.SyscallClockRead)
 	if g := t.rt.arb.Request(t.tid); g != t.tid {
 		t.deliver(g)
 		t.b.Block()
 		t.resyncClock()
 	}
 	t.holding = true
-	t.account(&t.bd.determWait)
-	t.charge(&t.bd.lib, m.TokenHandoff)
+	t.account(obs.PhaseTokenWait)
+	t.charge(obs.PhaseLib, m.TokenHandoff)
 	t.overflow.ResetChunk()
 	t.toOverflow = 0
 }
@@ -282,8 +314,8 @@ func (t *Thread) blockForToken() {
 	t.b.Block()
 	t.resyncClock()
 	t.holding = true
-	t.account(&t.bd.determWait)
-	t.charge(&t.bd.lib, t.rt.cfg.Model.TokenHandoff)
+	t.account(obs.PhaseTokenWait)
+	t.charge(obs.PhaseLib, t.rt.cfg.Model.TokenHandoff)
 	t.overflow.ResetChunk()
 	t.toOverflow = 0
 	// Acquire semantics: import everything committed while we slept.
@@ -302,8 +334,8 @@ func (t *Thread) tokenBegin() {
 		if t.rt.cfg.UserspaceClockRead {
 			cost = m.UserClockRead
 		}
-		t.account(&t.bd.localWork)
-		t.charge(&t.bd.lib, cost)
+		t.account(obs.PhaseCompute)
+		t.charge(obs.PhaseLib, cost)
 		return
 	}
 	t.acquireToken()
@@ -314,11 +346,19 @@ func (t *Thread) tokenBegin() {
 // tokenEnd leaves the coordination phase: either keep holding the token
 // (coarsening) or commit any deferred writes and release.
 func (t *Thread) tokenEnd(kind coarsenKind, nextEstimate int64) {
+	wasCoarse := t.coarse.active
 	if t.maybeCoarsen(kind, nextEstimate) {
 		t.coarsenedOps++
+		if t.mCoarsenedOps != nil {
+			t.mCoarsenedOps.Inc()
+		}
+		if !wasCoarse {
+			t.mark(obs.MarkCoarsenBegin, nextEstimate)
+		}
 		return
 	}
 	if t.coarse.active {
+		t.mark(obs.MarkCoarsenEnd, int64(t.coarse.ops))
 		t.coarse.active = false
 		t.commitAndUpdate() // publish writes deferred during the chunk
 	}
@@ -330,6 +370,7 @@ func (t *Thread) tokenEnd(kind coarsenKind, nextEstimate int64) {
 // (cond, barrier, join, exit) on entry.
 func (t *Thread) uncoarsen() {
 	if t.coarse.active {
+		t.mark(obs.MarkCoarsenEnd, int64(t.coarse.ops))
 		t.coarse.active = false
 		t.commitAndUpdate()
 	}
@@ -338,22 +379,26 @@ func (t *Thread) uncoarsen() {
 // commitAndUpdate publishes the workspace's dirty pages as a new version
 // and advances the view past all remote commits (the paper's
 // convCommitAndUpdateMem). Must hold the token: commit order is the
-// deterministic total order.
+// deterministic total order. The serial ordering/publication work and the
+// page-merge work are accounted (and traced) as distinct commit and merge
+// phases; api.RunStats folds both into CommitNS.
 func (t *Thread) commitAndUpdate() {
 	if !t.holding {
 		panic("det: commit without token")
 	}
 	m := &t.rt.cfg.Model
-	t.account(&t.bd.localWork)
+	t.account(obs.PhaseCompute)
 	pc := t.ws.BeginCommit()
 	st := pc.Stats()
-	cost := m.CommitFixed +
-		int64(st.CommittedPages)*m.CommitPageSerial +
-		int64(st.PulledPages)*m.UpdatePage
-	t.b.Charge(cost)
+	t.charge(obs.PhaseCommit, m.CommitFixed+
+		int64(st.CommittedPages)*m.CommitPageSerial+
+		int64(st.PulledPages)*m.UpdatePage)
 	pc.Complete()
-	t.b.Charge(int64(st.CommittedPages) * m.CommitPageMerge)
-	t.account(&t.bd.commit)
+	t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
+	t.mark(obs.MarkCommit, int64(st.CommittedPages))
+	if t.mCommits != nil {
+		t.mCommits.Inc()
+	}
 	t.lastCommitCount = t.icount
 	if h := t.rt.hooks; h != nil {
 		h.OnCommit(t.tid, pc.Version())
@@ -382,6 +427,26 @@ func (t *Thread) syncOpStart() {
 	}
 	t.lastSyncIcount = t.icount
 	t.syncOps++
+	if t.mSyncOps != nil {
+		t.mSyncOps.Inc()
+		t.hChunk.Observe(chunk)
+	}
+}
+
+// noteLockAcquire bumps the per-(thread, mutex) acquisition counter; a
+// no-op without an observer. The counter pointer is cached per mutex so
+// repeated acquisitions skip the registry lookup.
+func (t *Thread) noteLockAcquire(mutexID uint64) {
+	if t.rt.obs == nil {
+		return
+	}
+	c, ok := t.mLockAcq[mutexID]
+	if !ok {
+		c = t.rt.obs.Registry().Counter("det_lock_acquires",
+			obs.L("tid", t.tid), obs.L("mutex", mutexID))
+		t.mLockAcq[mutexID] = c
+	}
+	c.Inc()
 }
 
 // unlockEstimator returns this thread's post-unlock chunk estimator for

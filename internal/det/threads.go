@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/host"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -44,15 +45,15 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 		if err := rt.seg.Rebind(ws, tid); err != nil {
 			panic(fmt.Sprintf("det: pool rebind: %v", err))
 		}
-		t.account(&t.bd.localWork)
+		t.account(obs.PhaseCompute)
 		pulled := ws.UpdateTo(rt.seg.Head())
-		t.charge(&t.bd.lib, m.PoolReuse+int64(pulled)*m.UpdatePage)
+		t.charge(obs.PhaseLib, m.PoolReuse+int64(pulled)*m.UpdatePage)
 		child = rt.attachThread(tid, t.icount, ws)
 		reused = true
 	} else {
 		// Fork: every populated page-table entry is copied into the child.
-		t.account(&t.bd.localWork)
-		t.charge(&t.bd.lib, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
+		t.account(obs.PhaseCompute)
+		t.charge(obs.PhaseLib, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
 		var err error
 		child, err = rt.newThread(tid, t.icount)
 		if err != nil {
@@ -136,7 +137,7 @@ func (t *Thread) exit() {
 		rt.seg.Release(t.ws)
 	}
 
-	t.account(&t.bd.localWork)
+	t.account(obs.PhaseCompute)
 	rt.aggregate(t)
 	t.releaseTokenRaw()
 	t.deliver(rt.arb.Unregister(t.tid))

@@ -20,6 +20,7 @@ import (
 	"repro/internal/det"
 	"repro/internal/host/simhost"
 	"repro/internal/lrc"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -53,6 +54,10 @@ type Options struct {
 	// WithLRC attaches the happens-before propagation tracker
 	// (Consequence runtimes only).
 	WithLRC bool
+	// Observer, when non-nil, is attached to the run so the cell records
+	// a phase timeline and metrics (Consequence runtimes only). Use a
+	// fresh Observer per cell; attaching never changes the cell's result.
+	Observer *obs.Observer
 }
 
 // Result is one run's outcome.
@@ -98,6 +103,9 @@ func Run(o Options) (Result, error) {
 		if o.WithLRC {
 			tracker = lrc.New()
 			drt.SetHooks(tracker)
+		}
+		if o.Observer != nil {
+			drt.SetObserver(o.Observer)
 		}
 		rt = drt
 	case KindDThreads:

@@ -1,0 +1,200 @@
+// Package obs is the runtime observability layer: a low-overhead metrics
+// registry and a phase-resolved span timeline, exportable as Chrome
+// trace-event JSON (chrome://tracing / Perfetto).
+//
+// The package answers the question the end-of-run aggregate statistics
+// (api.RunStats) cannot: *where* a run spent its time. The paper's
+// evaluation (§5, Figures 10–16) attributes time to token wait, commit,
+// merge and compute per thread; the timeline here records exactly those
+// categories as begin/end spans into per-thread ring buffers, so a run
+// renders as one lane per thread in a trace viewer.
+//
+// Design constraints, in priority order:
+//
+//  1. A disabled observer must cost nothing. The runtime keeps a nil
+//     observer (and nil per-thread lane) by default; every instrumentation
+//     site is a single pointer nil-check on the fast path. Tier-1
+//     determinism and benchmark results are byte-identical with the
+//     observer attached or absent — the observer only *reads* clocks the
+//     runtime already reads and appends to thread-private buffers; it
+//     never feeds back into scheduling, arbitration or memory state.
+//
+//  2. Recording must not synchronize threads. Each thread writes spans
+//     only to its own Lane (a fixed-capacity ring; oldest events are
+//     dropped and counted when it overflows), and registry counters are
+//     single atomic adds. Nothing recording-side takes a lock that another
+//     recording thread contends.
+//
+//  3. Host-agnostic time. Spans carry whatever the host's clock returns:
+//     virtual nanoseconds on simhost (so traces of simulated runs are
+//     bit-reproducible), wall-clock nanoseconds on realhost.
+//
+// Typical use:
+//
+//	o := obs.New()
+//	rt.SetObserver(o)          // before Run
+//	rt.Run(prog)
+//	o.WriteChromeTrace(w, "consequence-ic histogram")
+//	for _, s := range o.Registry().Snapshot() { fmt.Println(s) }
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Phase classifies a span or marker on the timeline. The first
+// NumTimePhases values are the mutually exclusive time categories every
+// instant of a thread's execution falls into (the runtime's accounting
+// boundaries); values after NumTimePhases are instantaneous markers.
+type Phase uint8
+
+// Time-category phases (span events). These refine the api.RunStats
+// breakdown: Commit and Merge together are RunStats.CommitNS.
+const (
+	// PhaseCompute is thread-local work: Compute instructions, memory
+	// operations, and benchmark logic between runtime entry points.
+	PhaseCompute Phase = iota
+	// PhaseTokenWait is time blocked waiting for the global token in the
+	// deterministic order (the paper's "determ. wait").
+	PhaseTokenWait
+	// PhaseBarrierWait is time parked at a barrier rendezvous after the
+	// thread's own commit work is done.
+	PhaseBarrierWait
+	// PhaseCommit is the serial part of a Conversion commit/update: version
+	// ordering, page publication, and pulling remote modifications.
+	PhaseCommit
+	// PhaseMerge is the page-merge part of a commit. Under the parallel
+	// two-phase barrier (§4.2) it runs outside the token, overlapping
+	// across arrivals — visible on the timeline as concurrent merge spans.
+	PhaseMerge
+	// PhaseFault is copy-on-write page-fault servicing.
+	PhaseFault
+	// PhaseLib is runtime-library overhead: clock reads, counter-overflow
+	// interrupts, token handoffs, and thread fork/reuse costs.
+	PhaseLib
+
+	// NumTimePhases is the number of span (time-category) phases.
+	NumTimePhases
+)
+
+// Instant-marker phases (zero-duration events).
+const (
+	// MarkCoarsenBegin records the decision to keep the token through the
+	// next chunk (§3.1). Arg is the estimated chunk length (instructions).
+	MarkCoarsenBegin Phase = NumTimePhases + 1 + iota
+	// MarkCoarsenEnd records the end of a coarsened chunk. Arg is the
+	// number of sync operations the chunk absorbed.
+	MarkCoarsenEnd
+	// MarkCommit records a completed commit+update. Arg is the number of
+	// pages committed.
+	MarkCommit
+)
+
+// phaseNames maps phases to their stable export names. These strings are
+// part of the trace format (docs/observability.md documents them); do not
+// reuse or renumber.
+var phaseNames = map[Phase]string{
+	PhaseCompute:     "compute",
+	PhaseTokenWait:   "token-wait",
+	PhaseBarrierWait: "barrier-wait",
+	PhaseCommit:      "commit",
+	PhaseMerge:       "merge",
+	PhaseFault:       "fault",
+	PhaseLib:         "lib",
+	MarkCoarsenBegin: "coarsen-begin",
+	MarkCoarsenEnd:   "coarsen-end",
+	MarkCommit:       "commit-mark",
+}
+
+// String returns the phase's stable export name.
+func (p Phase) String() string {
+	if s, ok := phaseNames[p]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Instant reports whether p is an instantaneous marker rather than a time
+// category.
+func (p Phase) Instant() bool { return p > NumTimePhases }
+
+// Observer bundles a metrics registry and a span timeline for one run.
+// One Observer observes one Runtime; attach it before Run.
+type Observer struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	lanes   map[int]*Lane
+	laneCap int
+}
+
+// DefaultLaneCap is the default per-thread ring-buffer capacity, in
+// events. At roughly 3–6 spans per synchronization operation this holds
+// the full timeline of any tier-1 workload.
+const DefaultLaneCap = 1 << 16
+
+// Option configures an Observer.
+type Option func(*Observer)
+
+// WithLaneCap sets the per-thread ring capacity (events retained per
+// lane). When a lane overflows, the oldest events are dropped and counted
+// (Lane.Dropped).
+func WithLaneCap(n int) Option {
+	return func(o *Observer) {
+		if n > 0 {
+			o.laneCap = n
+		}
+	}
+}
+
+// New creates an empty Observer.
+func New(opts ...Option) *Observer {
+	o := &Observer{
+		reg:     NewRegistry(),
+		lanes:   make(map[int]*Lane),
+		laneCap: DefaultLaneCap,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Registry returns the observer's metrics registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// Lane returns (creating if needed) the span lane for thread tid. The
+// returned lane must only be written by the thread that owns tid; the
+// create-or-get itself is safe for concurrent use.
+func (o *Observer) Lane(tid int) *Lane {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l, ok := o.lanes[tid]
+	if !ok {
+		l = newLane(tid, o.laneCap)
+		o.lanes[tid] = l
+	}
+	return l
+}
+
+// Lanes returns all lanes in tid order. Call only after the observed run
+// has finished (or from a quiesced runtime): lane contents are read
+// without synchronization against their owning threads.
+func (o *Observer) Lanes() []*Lane {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ls := make([]*Lane, 0, len(o.lanes))
+	for _, l := range o.lanes {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].tid < ls[j].tid })
+	return ls
+}
+
+// WriteChromeTrace exports the timeline (and a registry snapshot) as
+// Chrome trace-event JSON. See chrometrace.go for the format contract.
+func (o *Observer) WriteChromeTrace(w io.Writer, process string) error {
+	return writeChromeTrace(w, o, process)
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, tests. Run from the repo root
+# (directly or via `make check`); exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "check: OK"
