@@ -40,6 +40,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace of one observed cell to this file")
 	traceBench := flag.String("trace-bench", "ferret", "benchmark for the observed cell")
 	traceRuntime := flag.String("trace-runtime", string(harness.KindConsequenceIC), "runtime for the observed cell (consequence-ic | consequence-rr)")
+	listen := flag.String("listen", "", "serve the observed cell's live /metrics (Prometheus text format) and /debug/pprof on this address while the cell runs (e.g. :9090)")
 	flag.Parse()
 
 	var ths []int
@@ -87,8 +88,16 @@ func main() {
 		fmt.Println(text)
 	}
 
-	if *traceOut != "" {
+	if *traceOut != "" || *listen != "" {
 		o := obs.New()
+		if *listen != "" {
+			srv, err := o.ListenAndServe(*listen)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("serving http://%s/metrics (and /debug/pprof) for the observed cell\n", srv.Addr())
+		}
 		res, err := harness.Run(harness.Options{
 			Bench:    *traceBench,
 			Runtime:  harness.Kind(*traceRuntime),
@@ -101,19 +110,24 @@ func main() {
 			fatal(err)
 		}
 		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", *traceRuntime, *traceBench, ths[0], *scale, *seed)
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := o.WriteChromeTrace(f, name); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("observed cell %s: wall %.3f ms, checksum %016x — trace written to %s\n",
+				name, float64(res.WallNS)/1e6, res.Checksum, *traceOut)
+		} else {
+			fmt.Printf("observed cell %s: wall %.3f ms, checksum %016x\n",
+				name, float64(res.WallNS)/1e6, res.Checksum)
 		}
-		if err := o.WriteChromeTrace(f, name); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("observed cell %s: wall %.3f ms, checksum %016x — trace written to %s\n",
-			name, float64(res.WallNS)/1e6, res.Checksum, *traceOut)
 	}
 
 	if *table != "" {

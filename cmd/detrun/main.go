@@ -12,6 +12,8 @@
 //	detrun -bench histogram -runtime pthreads       # nondeterministic ref
 //	detrun -bench ferret -trace /tmp/ferret.json    # Chrome/Perfetto trace
 //	detrun -bench ferret -metrics                   # metrics snapshot
+//	detrun -bench ferret -analyze                   # critical-path report
+//	detrun -bench ferret -real -listen :9090        # live /metrics + pprof
 //	detrun -list
 package main
 
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/api"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/host/realhost"
 	"repro/internal/host/simhost"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -49,6 +53,9 @@ func main() {
 	useReal := flag.Bool("real", false, "run on the real (goroutine) host instead of the simulator")
 	traceOut := flag.String("trace", "", "write a phase-resolved Chrome trace (chrome://tracing / Perfetto JSON) to this file")
 	metrics := flag.Bool("metrics", false, "print the observability metrics snapshot after the run")
+	analyzeRun := flag.Bool("analyze", false, "print the critical-path analysis report after the run (see conseq-analyze)")
+	listen := flag.String("listen", "", "serve live /metrics (Prometheus text format) and /debug/pprof on this address during the run (e.g. :9090)")
+	sample := flag.Duration("sample", 0, "snapshot the metrics registry at this interval and print per-interval deltas after the run (e.g. 100ms)")
 	dumpTrace := flag.Int("dump-sync", 0, "dump the first N sync-order events")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
@@ -81,11 +88,23 @@ func main() {
 		fatal(err)
 	}
 	var observer *obs.Observer
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *analyzeRun || *listen != "" || *sample > 0 {
 		observer = attachObserver(rt)
 		if observer == nil {
 			fatal(fmt.Errorf("runtime %q does not support observability (consequence and dwc runtimes do)", *rtName))
 		}
+	}
+	if *listen != "" {
+		srv, err := observer.ListenAndServe(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving      http://%s/metrics (and /debug/pprof)\n", srv.Addr())
+	}
+	var sampler *obs.Sampler
+	if *sample > 0 {
+		sampler = obs.NewSampler(observer.Registry(), *sample)
 	}
 	start := time.Now()
 	if err := rt.Run(spec.Prog(p)); err != nil {
@@ -127,6 +146,42 @@ func main() {
 		for _, s := range observer.Registry().Snapshot() {
 			fmt.Println("  ", s)
 		}
+	}
+	if sampler != nil {
+		sampler.Stop()
+		printSamplePoints(sampler.Points())
+	}
+	if *analyzeRun {
+		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", rt.Name(), spec.Name, *threads, *scale, *seed)
+		rep, err := analyze.Analyze(analyze.FromObserver(observer, name))
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Partial {
+			fmt.Fprintf(os.Stderr, "detrun: warning: %d timeline events dropped; analysis is partial\n", rep.DroppedEvents)
+		}
+		fmt.Println()
+		rep.WriteText(os.Stdout)
+	}
+}
+
+// printSamplePoints renders the sampler's per-interval deltas, skipping
+// metrics that did not move in an interval.
+func printSamplePoints(pts []obs.SamplePoint) {
+	fmt.Printf("samples     %d points\n", len(pts))
+	for _, pt := range pts {
+		keys := make([]string, 0, len(pt.Deltas))
+		for k, d := range pt.Deltas {
+			if d != 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		fmt.Printf("  +%-10s", pt.Elapsed.Round(time.Millisecond))
+		for _, k := range keys {
+			fmt.Printf(" %s=%+d", k, pt.Deltas[k])
+		}
+		fmt.Println()
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"repro/internal/host/realhost"
 	"repro/internal/host/simhost"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/trace"
 )
 
@@ -231,6 +232,35 @@ func (r *Runtime) WriteTrace(w io.Writer, name string) error {
 		return fmt.Errorf("consequence: WriteTrace requires WithObservability")
 	}
 	return o.WriteChromeTrace(w, name)
+}
+
+// Report is the critical-path analysis of an observed run: the
+// serialization critical path, per-lock token-wait attribution, per-phase
+// utilization, commit/merge overlap, and chunk-coarsening what-if
+// estimates. See the internal/obs/analyze documentation for how each part
+// is computed; cmd/conseq-analyze is the command-line front end.
+type Report = analyze.Report
+
+// Analyze runs the critical-path analyzer over the completed run's
+// timeline and returns the report. name labels the run in the report.
+// Call after Run returns; it is an error if the runtime was created
+// without WithObservability.
+func (r *Runtime) Analyze(name string) (*Report, error) {
+	o := r.rt.Observer()
+	if o == nil {
+		return nil, fmt.Errorf("consequence: Analyze requires WithObservability")
+	}
+	return analyze.Analyze(analyze.FromObserver(o, name))
+}
+
+// WriteReport analyzes the completed run and writes the human-readable
+// report to w. See Analyze for the requirements.
+func (r *Runtime) WriteReport(w io.Writer, name string) error {
+	rep, err := r.Analyze(name)
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(w)
 }
 
 // Typed accessors over the byte-addressed segment, re-exported from the

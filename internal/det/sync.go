@@ -105,6 +105,7 @@ func (t *Thread) Lock(mx api.Mutex) {
 		// Blocking path (the paper's contribution): queue, leave GMIC
 		// consideration, give up the token, and sleep until the unlocker
 		// re-arms us (we wake holding the token and retry).
+		t.mark(obs.MarkLockBlock, int64(m.id))
 		m.waiters = append(m.waiters, t.tid)
 		t.uncoarsen()
 		t.deliver(t.rt.arb.Depart(t.tid))
@@ -166,6 +167,7 @@ func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 	}
 	// Reacquire the mutex; we already hold the token.
 	for m.locked {
+		t.mark(obs.MarkLockBlock, int64(m.id))
 		m.waiters = append(m.waiters, t.tid)
 		t.deliver(t.rt.arb.Depart(t.tid))
 		t.releaseTokenRaw()

@@ -433,13 +433,15 @@ func (t *Thread) syncOpStart() {
 	}
 }
 
-// noteLockAcquire bumps the per-(thread, mutex) acquisition counter; a
-// no-op without an observer. The counter pointer is cached per mutex so
-// repeated acquisitions skip the registry lookup.
+// noteLockAcquire bumps the per-(thread, mutex) acquisition counter and
+// drops a lock-acquire marker on the timeline; a no-op without an
+// observer. The counter pointer is cached per mutex so repeated
+// acquisitions skip the registry lookup.
 func (t *Thread) noteLockAcquire(mutexID uint64) {
 	if t.rt.obs == nil {
 		return
 	}
+	t.mark(obs.MarkLockAcquire, int64(mutexID))
 	c, ok := t.mLockAcq[mutexID]
 	if !ok {
 		c = t.rt.obs.Registry().Counter("det_lock_acquires",

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// CellName is the canonical process description for one observed cell —
+// the string traces are exported under and analysis reports are headed
+// with.
+func CellName(o Options) string {
+	return fmt.Sprintf("%s %s t=%d scale=%d seed=%d", o.Runtime, o.Bench, o.Threads, o.Scale, o.Seed)
+}
+
+// AnalyzeCell runs one cell with a fresh Observer attached and returns the
+// run result, the observer (for trace export), and the critical-path
+// analysis report. The observer never changes the cell's result (the
+// Options.Observer contract); analysis is post-hoc.
+func AnalyzeCell(o Options) (Result, *obs.Observer, *analyze.Report, error) {
+	ob := obs.New()
+	o.Observer = ob
+	res, err := Run(o)
+	if err != nil {
+		return res, nil, nil, err
+	}
+	rep, err := analyze.Analyze(analyze.FromObserver(ob, CellName(o)))
+	if err != nil {
+		return res, ob, nil, err
+	}
+	return res, ob, rep, nil
+}

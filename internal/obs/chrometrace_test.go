@@ -38,8 +38,14 @@ func observedRun(t *testing.T) []byte {
 		for i := 0; i < 2; i++ {
 			i := i
 			hs = append(hs, t0.Spawn(func(tt api.T) {
-				tt.Compute(int64(4000 * (i + 1)))
+				tt.Compute(int64(3000 + 500*i))
 				tt.Lock(m)
+				// A long critical section, so later arrivals block on the
+				// held mutex: the golden trace then carries lock-block /
+				// lock-acquire marker pairs with real token-wait between
+				// them, which the analyzer's per-lock attribution tests
+				// (internal/obs/analyze) depend on.
+				tt.Compute(6000)
 				api.AddU64(tt, 0, uint64(i+1))
 				tt.Unlock(m)
 				tt.BarrierWait(bar)
@@ -49,6 +55,7 @@ func observedRun(t *testing.T) []byte {
 		}
 		t0.Compute(1000)
 		t0.Lock(m)
+		t0.Compute(6000)
 		api.AddU64(t0, 0, 100)
 		t0.Unlock(m)
 		t0.BarrierWait(bar)

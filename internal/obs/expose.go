@@ -1,0 +1,55 @@
+package obs
+
+// Live HTTP exposition: a /metrics endpoint (Prometheus text format) plus
+// the standard net/http/pprof profiling handlers, served from a background
+// goroutine. The server only reads registry snapshots — atomic loads and
+// callback gauges — so serving a scrape during a run cannot perturb the
+// deterministic schedule; tier-1 determinism tests assert byte-identical
+// results with the endpoint enabled.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running metrics endpoint. Close it when the run ends.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the observer's registry at addr (a
+// net.Listen "tcp" address; use ":0" for an ephemeral port and Addr to
+// discover it). Routes: /metrics (Prometheus text format) and the usual
+// /debug/pprof/... handlers. The returned Server is already serving.
+func (o *Observer) ListenAndServe(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, o.reg)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -90,6 +90,16 @@ const (
 	// MarkCommit records a completed commit+update. Arg is the number of
 	// pages committed.
 	MarkCommit
+	// MarkLockBlock records a thread queueing on a held mutex (the blocking
+	// path of the deterministic mutex_lock, §4.1). Arg is the mutex id. The
+	// token-wait spans between this mark and the matching MarkLockAcquire
+	// are contention on that mutex — the analyzer's per-lock attribution
+	// (internal/obs/analyze) keys off this pairing.
+	MarkLockBlock
+	// MarkLockAcquire records a completed mutex acquisition. Arg is the
+	// mutex id. Emitted for contended and uncontended acquisitions alike,
+	// so per-mutex counts match det_lock_acquires.
+	MarkLockAcquire
 )
 
 // phaseNames maps phases to their stable export names. These strings are
@@ -106,6 +116,8 @@ var phaseNames = map[Phase]string{
 	MarkCoarsenBegin: "coarsen-begin",
 	MarkCoarsenEnd:   "coarsen-end",
 	MarkCommit:       "commit-mark",
+	MarkLockBlock:    "lock-block",
+	MarkLockAcquire:  "lock-acquire",
 }
 
 // String returns the phase's stable export name.
@@ -114,6 +126,18 @@ func (p Phase) String() string {
 		return s
 	}
 	return "unknown"
+}
+
+// PhaseByName is the inverse of Phase.String: it resolves a stable export
+// name back to its Phase. The trace analyzer uses it to reconstruct a
+// timeline from exported Chrome trace JSON.
+func PhaseByName(name string) (Phase, bool) {
+	for p, s := range phaseNames {
+		if s == name {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // Instant reports whether p is an instantaneous marker rather than a time
@@ -175,6 +199,10 @@ func (o *Observer) Lane(tid int) *Lane {
 	if !ok {
 		l = newLane(tid, o.laneCap)
 		o.lanes[tid] = l
+		// Surface ring overflow in the metrics, per thread, so truncated
+		// timelines are detectable without exporting the trace. Dropped is
+		// an atomic read, safe to sample mid-run.
+		o.reg.Func("obs_lane_dropped_total", l.Dropped, L("tid", tid))
 	}
 	return l
 }

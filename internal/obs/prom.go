@@ -1,0 +1,100 @@
+package obs
+
+// Prometheus text-format exposition (version 0.0.4) of a Registry
+// snapshot. This is the scrape side of the observability layer: the
+// registry's atomic instruments are safe to sample mid-run, so an HTTP
+// handler (see expose.go) can serve live metrics from an executing
+// workload without touching the deterministic schedule.
+//
+// The rendering is the plain-text format every Prometheus-compatible
+// scraper ingests: one `# TYPE` line per metric family, one sample line
+// per label set, histograms expanded into cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Like the Chrome trace export the output
+// is deterministic for a fixed registry state (Snapshot sorts by canonical
+// name; no map iteration), so tests pin it byte-for-byte.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the Prometheus text exposition
+// format, to be sent by HTTP handlers serving WritePrometheus output.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promType maps a metric kind to its exposition TYPE. Func gauges are
+// plain gauges to a scraper.
+func promType(k MetricKind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// promEscape escapes a label value per the exposition format.
+var promEscape = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabels renders a label set as {k1="v1",k2="v2"}, with extra
+// appended last (used for the histogram `le` label). Returns "" for an
+// empty set.
+func promLabels(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range append(append([]Label(nil), labels...), extra...) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, promEscape.Replace(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot of the registry in the Prometheus
+// text exposition format. Safe to call mid-run (Snapshot's contract).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	return writePromSamples(w, r.Snapshot())
+}
+
+// writePromSamples renders already-snapshotted samples. Snapshot returns
+// samples sorted by canonical name, so all label sets of one family are
+// adjacent: the TYPE line is emitted once, at the family's first sample.
+func writePromSamples(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, s := range samples {
+		if s.Name != prev {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, promType(s.Kind))
+			prev = s.Name
+		}
+		if s.Kind != KindHistogram {
+			fmt.Fprintf(bw, "%s%s %d\n", s.Name, promLabels(s.Labels), s.Value)
+			continue
+		}
+		// Histogram: cumulative buckets. Bucket i of the power-of-two
+		// scheme counts integer values in [2^(i-1), 2^i), i.e. <= 2^i - 1;
+		// bucket 0 counts values <= 0.
+		var cum int64
+		for i, n := range s.Buckets {
+			cum += n
+			var le int64
+			if i > 0 {
+				le = int64(1)<<i - 1
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, L("le", le)), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, Label{Key: "le", Value: "+Inf"}), s.Value)
+		fmt.Fprintf(bw, "%s_sum%s %d\n", s.Name, promLabels(s.Labels), s.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Value)
+	}
+	return bw.Flush()
+}

@@ -89,6 +89,7 @@ const histBuckets = 64
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     atomic.Int64
 	buckets [histBuckets + 1]atomic.Int64
 }
 
@@ -96,6 +97,12 @@ type Histogram struct {
 func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
 	i := 0
 	if v > 0 {
 		i = bits.Len64(uint64(v))
@@ -108,6 +115,61 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 if none, or if all were <= 0).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated by linear
+// interpolation inside the power-of-two bucket where the quantile's rank
+// lands. The top occupied bucket is clamped to the recorded maximum, so
+// p100 is exact and high quantiles do not inflate to the bucket's upper
+// bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantile(h.Buckets(), h.Count(), h.Max(), q)
+}
+
+// quantile interpolates a quantile from non-cumulative power-of-two
+// bucket counts (bucket 0: v <= 0; bucket i: [2^(i-1), 2^i)), the total
+// count, and the observed maximum. Shared by Histogram.Quantile and
+// Sample rendering, which only has the snapshot's bucket slice.
+func quantile(buckets []int64, count, max int64, q float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	var cum float64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		cum += float64(n)
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := float64(int64(1) << (i - 1))
+		hi := float64(int64(1) << i)
+		if i == len(buckets)-1 && float64(max) >= lo {
+			// Top occupied bucket: the true upper edge is the max.
+			hi = float64(max)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the rank inside this bucket, linearly interpolated.
+		pos := 1 - (cum-rank)/float64(n)
+		return lo + pos*(hi-lo)
+	}
+	return float64(max)
+}
 
 // Buckets returns the non-cumulative per-bucket counts, trimmed of
 // trailing empty buckets. Bucket i counts values in [2^(i-1), 2^i);
@@ -225,10 +287,20 @@ type Sample struct {
 	// Value is the counter/gauge/func value; for histograms it is the
 	// observation count.
 	Value int64
-	// Sum and Buckets are populated for histograms only (see
+	// Sum, Max and Buckets are populated for histograms only (see
 	// Histogram.Buckets for bucket semantics).
 	Sum     int64
+	Max     int64
 	Buckets []int64
+}
+
+// Quantile returns the q-quantile of a histogram sample, interpolated
+// from its buckets (0 for non-histogram samples).
+func (s Sample) Quantile(q float64) float64 {
+	if s.Kind != KindHistogram {
+		return 0
+	}
+	return quantile(s.Buckets, s.Value, s.Max, q)
 }
 
 // String renders the sample in a stable, human-readable form.
@@ -250,7 +322,8 @@ func (s Sample) String() string {
 		if s.Value > 0 {
 			mean = float64(s.Sum) / float64(s.Value)
 		}
-		fmt.Fprintf(&b, " count=%d sum=%d mean=%.1f", s.Value, s.Sum, mean)
+		fmt.Fprintf(&b, " count=%d sum=%d mean=%.1f p50=%.1f p95=%.1f max=%d",
+			s.Value, s.Sum, mean, s.Quantile(0.5), s.Quantile(0.95), s.Max)
 	} else {
 		fmt.Fprintf(&b, " %d", s.Value)
 	}
@@ -285,6 +358,7 @@ func (r *Registry) Snapshot() []Sample {
 		case KindHistogram:
 			s.Value = m.h.Count()
 			s.Sum = m.h.Sum()
+			s.Max = m.h.Max()
 			s.Buckets = m.h.Buckets()
 		case KindFunc:
 			s.Value = m.fn()

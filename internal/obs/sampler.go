@@ -1,0 +1,106 @@
+package obs
+
+// Background registry sampler: periodic snapshots turned into per-interval
+// deltas, so a run's metrics become a coarse time series ("commits per
+// 100ms", "token handoffs per interval") without any per-event recording
+// cost. Like the HTTP exposition this is read-only — the sampling
+// goroutine takes snapshots (atomic loads, callback gauges) and never
+// feeds anything back into the runtime.
+
+import (
+	"sync"
+	"time"
+)
+
+// SamplePoint is one sampling interval's registry state.
+type SamplePoint struct {
+	// Elapsed is the time since the sampler started.
+	Elapsed time.Duration
+	// Samples is the full snapshot at this instant.
+	Samples []Sample
+	// Deltas maps a metric's canonical String-style key (name plus sorted
+	// labels) to the change in its primary value since the previous point:
+	// counter/func increments, histogram observation-count increments, and
+	// gauge movements (which may be negative).
+	Deltas map[string]int64
+}
+
+// Sampler periodically snapshots a Registry in the background.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu     sync.Mutex
+	points []SamplePoint
+}
+
+// NewSampler starts sampling reg every interval. Call Stop to halt it;
+// Points returns what was recorded. Intervals below 1ms are clamped.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// sampleKey canonicalizes one sample for delta matching across snapshots.
+func sampleKey(s Sample) string {
+	k, _ := key(s.Name, s.Labels)
+	return k
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	start := time.Now()
+	prev := map[string]int64{}
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		snap := s.reg.Snapshot()
+		pt := SamplePoint{
+			Elapsed: time.Since(start),
+			Samples: snap,
+			Deltas:  make(map[string]int64, len(snap)),
+		}
+		cur := make(map[string]int64, len(snap))
+		for _, sm := range snap {
+			k := sampleKey(sm)
+			cur[k] = sm.Value
+			pt.Deltas[k] = sm.Value - prev[k]
+		}
+		prev = cur
+		s.mu.Lock()
+		s.points = append(s.points, pt)
+		s.mu.Unlock()
+	}
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Idempotent
+// via sync.Once semantics is not needed: callers stop a sampler once, at
+// run end.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// Points returns the recorded sample points (safe after Stop, or mid-run
+// for a consistent prefix).
+func (s *Sampler) Points() []SamplePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SamplePoint(nil), s.points...)
+}

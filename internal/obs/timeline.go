@@ -1,5 +1,7 @@
 package obs
 
+import "sync/atomic"
+
 // Event is one timeline entry: a span (time-category phase, End >= Start)
 // or an instantaneous marker (End == Start, Phase.Instant() true). Times
 // are host nanoseconds: virtual on simhost, wall-clock on realhost.
@@ -9,19 +11,23 @@ type Event struct {
 	Start, End int64
 	// Arg is a phase-specific payload: pages committed for MarkCommit,
 	// estimated chunk length for MarkCoarsenBegin, absorbed sync ops for
-	// MarkCoarsenEnd; 0 for plain time spans.
+	// MarkCoarsenEnd, the mutex id for MarkLockBlock/MarkLockAcquire;
+	// 0 for plain time spans.
 	Arg int64
 }
 
 // Lane is one thread's event ring. It is deliberately not synchronized:
 // exactly one thread (the lane's owner) may call Add, which makes
-// recording lock-free; readers (Events, Dropped) must wait until the
-// owning thread has finished, which the exporter's contract guarantees.
+// recording lock-free; Events must wait until the owning thread has
+// finished, which the exporter's contract guarantees. The event counters
+// (Total, Dropped) are atomics so mid-run metric snapshots — the
+// obs_lane_dropped_total series — can read them from any goroutine.
 type Lane struct {
-	tid   int
-	ring  []Event
-	next  int   // ring index of the next write
-	total int64 // events ever added
+	tid     int
+	ring    []Event
+	next    int // ring index of the next write
+	total   atomic.Int64
+	dropped atomic.Int64
 }
 
 // newLane creates a lane with the given ring capacity.
@@ -43,8 +49,9 @@ func (l *Lane) Add(e Event) {
 		if l.next == len(l.ring) {
 			l.next = 0
 		}
+		l.dropped.Add(1)
 	}
-	l.total++
+	l.total.Add(1)
 }
 
 // Span records a time-category span from start to end.
@@ -58,16 +65,13 @@ func (l *Lane) Mark(p Phase, at, arg int64) {
 }
 
 // Total returns the number of events ever added (retained + dropped).
-func (l *Lane) Total() int64 { return l.total }
+// Safe to call from any goroutine.
+func (l *Lane) Total() int64 { return l.total.Load() }
 
 // Dropped returns how many of the oldest events were evicted by ring
-// overflow.
-func (l *Lane) Dropped() int64 {
-	if kept := int64(len(l.ring)); l.total > kept {
-		return l.total - kept
-	}
-	return 0
-}
+// overflow. Safe to call from any goroutine (it backs the per-thread
+// obs_lane_dropped_total metric).
+func (l *Lane) Dropped() int64 { return l.dropped.Load() }
 
 // Events returns the retained events, oldest first. Call only after the
 // owning thread has finished.

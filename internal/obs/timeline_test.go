@@ -84,13 +84,22 @@ func TestPhaseNames(t *testing.T) {
 		MarkCoarsenBegin: "coarsen-begin",
 		MarkCoarsenEnd:   "coarsen-end",
 		MarkCommit:       "commit-mark",
+		MarkLockBlock:    "lock-block",
+		MarkLockAcquire:  "lock-acquire",
 	}
 	for p, name := range want {
 		if p.String() != name {
 			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), name)
 		}
+		back, ok := PhaseByName(name)
+		if !ok || back != p {
+			t.Errorf("PhaseByName(%q) = %v,%v, want %v", name, back, ok, p)
+		}
 	}
-	if PhaseCompute.Instant() || !MarkCommit.Instant() {
+	if _, ok := PhaseByName("no-such-phase"); ok {
+		t.Error("PhaseByName accepted an unknown name")
+	}
+	if PhaseCompute.Instant() || !MarkCommit.Instant() || !MarkLockBlock.Instant() {
 		t.Error("Instant() misclassifies phases")
 	}
 }

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
+echo "== go test -race (obs + det)"
+go test -race ./internal/obs/... ./internal/det
+
+echo "== conseq-analyze smoke (golden trace)"
+go run ./cmd/conseq-analyze -input internal/obs/testdata/golden_trace.json >/dev/null
+
 echo "check: OK"
