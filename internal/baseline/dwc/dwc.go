@@ -39,6 +39,7 @@ func New(cfg Config, h host.Host) (api.Runtime, error) {
 	d.UserspaceClockRead = false
 	d.ThreadPool = false
 	d.ParallelBarrier = false
+	d.SpeculativeDiff = false
 	d.SingleGlobalLock = true
 	d.NameOverride = "dwc"
 	d.SegmentSize = cfg.SegmentSize

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/api"
 	"repro/internal/clock"
@@ -80,6 +81,15 @@ type Config struct {
 	PoolCap int
 	// ParallelBarrier enables the two-phase parallel barrier commit (§4.2).
 	ParallelBarrier bool
+	// SpeculativeDiff hoists commit diff computation off the token path: a
+	// thread about to wait for the global token pre-diffs its dirty pages
+	// (mem.Workspace.PrepareCommit), and the token-held serial phase reuses
+	// those diffs, re-diffing only pages invalidated by a local write or a
+	// pulled remote version. Commit order and memory contents are
+	// byte-identical either way (Determinator and the Deterministic
+	// Consistency model make the same observation: only publication must
+	// be ordered, diffing is free to overlap).
+	SpeculativeDiff bool
 
 	// ChunkLimit > 0 forces a commit+update after that many instructions
 	// without one, supporting ad-hoc synchronization (§2.7). The paper's
@@ -135,6 +145,7 @@ func Default() Config {
 		ThreadPool:            true,
 		PoolCap:               64,
 		ParallelBarrier:       true,
+		SpeculativeDiff:       true,
 		SegmentSize:           1 << 24,
 		// GCPageBudget models the single-threaded Conversion collector: a
 		// bounded reclaim per pass, so programs that churn pages faster
@@ -190,6 +201,11 @@ type Runtime struct {
 	lastCoordTid int
 	commitCount  int64
 	globalMutex  *dMutex // all mutexes alias here when SingleGlobalLock
+
+	// commitSerialNS accumulates the time charged inside token-held serial
+	// commit phases (BeginCommit charges only — merge and speculation are
+	// excluded). Atomic so a live metrics scrape can read it mid-run.
+	commitSerialNS atomic.Int64
 
 	started bool
 	agg     aggStats
@@ -268,6 +284,9 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	r.Func("mem_merged_pages", memFunc(func(s mem.Stats) int64 { return s.MergedPages }))
 	r.Func("mem_diff_bytes", memFunc(func(s mem.Stats) int64 { return s.DiffBytes }))
 	r.Func("mem_pulled_pages", memFunc(func(s mem.Stats) int64 { return s.PulledPages }))
+	r.Func("mem_spec_diff_hits", memFunc(func(s mem.Stats) int64 { return s.SpecDiffHits }))
+	r.Func("mem_spec_diff_misses", memFunc(func(s mem.Stats) int64 { return s.SpecDiffMisses }))
+	r.Func("mem_commit_serial_ns", rt.commitSerialNS.Load)
 	r.Func("mem_gc_runs", memFunc(func(s mem.Stats) int64 { return s.GCRuns }))
 	r.Func("mem_gc_reclaimed_pages", memFunc(func(s mem.Stats) int64 { return s.GCReclaimedPages }))
 	r.Func("mem_cur_pages", memFunc(func(s mem.Stats) int64 { return s.CurPages }))
@@ -436,9 +455,9 @@ func (rt *Runtime) aggregate(t *Thread) {
 	rt.aggMu.Lock()
 	defer rt.aggMu.Unlock()
 	a := &rt.agg.RunStats
-	// Commit and merge are distinct trace phases but one RunStats
-	// category, preserving the seed's Figure 15 breakdown.
-	commitNS := t.bd[obs.PhaseCommit] + t.bd[obs.PhaseMerge]
+	// Commit, merge and speculative diffing are distinct trace phases but
+	// one RunStats category, preserving the seed's Figure 15 breakdown.
+	commitNS := t.bd[obs.PhaseCommit] + t.bd[obs.PhaseMerge] + t.bd[obs.PhaseSpecDiff]
 	a.LocalWorkNS += t.bd[obs.PhaseCompute]
 	a.DetermWaitNS += t.bd[obs.PhaseTokenWait]
 	a.BarrierWaitNS += t.bd[obs.PhaseBarrierWait]

@@ -130,7 +130,7 @@ func TestAnalyzerReconcilesWithRunStats(t *testing.T) {
 	if got := total("token-wait"); got != st.DetermWaitNS {
 		t.Errorf("token-wait total %d != DetermWaitNS %d", got, st.DetermWaitNS)
 	}
-	if got := total("commit") + total("merge"); got != st.CommitNS {
+	if got := total("commit") + total("merge") + total("spec-diff"); got != st.CommitNS {
 		t.Errorf("commit+merge total %d != CommitNS %d", got, st.CommitNS)
 	}
 	if rep.CriticalPath.TotalNS <= 0 || rep.CriticalPath.TotalNS > rep.WallNS {

@@ -134,7 +134,7 @@ func TestObserverDoesNotPerturbDeterminism(t *testing.T) {
 			{"compute", sums[obs.PhaseCompute], tt.LocalWork},
 			{"token-wait", sums[obs.PhaseTokenWait], tt.DetermWait},
 			{"barrier-wait", sums[obs.PhaseBarrierWait], tt.BarrierWait},
-			{"commit+merge", sums[obs.PhaseCommit] + sums[obs.PhaseMerge], tt.Commit},
+			{"commit+merge", sums[obs.PhaseCommit] + sums[obs.PhaseMerge] + sums[obs.PhaseSpecDiff], tt.Commit},
 			{"fault", sums[obs.PhaseFault], tt.Fault},
 			{"lib", sums[obs.PhaseLib], tt.Lib},
 		}

@@ -251,9 +251,7 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 		t.account(obs.PhaseCompute)
 		pc := t.ws.BeginCommit()
 		st := pc.Stats()
-		t.charge(obs.PhaseCommit, m.CommitFixed+
-			int64(st.CommittedPages)*m.CommitPageSerial+
-			int64(st.PulledPages)*m.UpdatePage)
+		t.chargeCommitSerial(st)
 		if h := t.rt.hooks; h != nil {
 			h.OnCommit(t.tid, pc.Version())
 			h.OnRelease(t.tid, bar.id) // entry edge: after the commit

@@ -268,10 +268,59 @@ func (t *Thread) Write(data []byte, off int) {
 
 // --- token protocol ---
 
+// speculate runs the off-token commit pipeline on the way into a token
+// wait (§4.2 extended: only publication must be ordered — everything else
+// may overlap the deterministic-order wait). Two steps: import the remote
+// versions already published (their diffs are immutable after phase 1, the
+// same property barrierSleep's off-token update relies on), shrinking the
+// pull window the token-held serial phase must process to whatever commits
+// during the wait; then pre-diff the workspace's dirty pages, so the
+// serial phase pays only publication cost for every page not locally
+// rewritten in the meantime. The import is a prefix of the window the
+// commit would import anyway, patched in the same version order, so
+// commit results are byte-identical with and without it.
+// A no-op when disabled or when there is nothing to import or diff.
+func (t *Thread) speculate() {
+	if !t.rt.cfg.SpeculativeDiff {
+		return
+	}
+	t.account(obs.PhaseCompute)
+	m := &t.rt.cfg.Model
+	ns := int64(t.ws.Update()) * m.UpdatePage
+	ns += int64(t.ws.PrepareCommit()) * m.SpecDiffPage
+	if ns > 0 {
+		t.charge(obs.PhaseSpecDiff, ns)
+	}
+}
+
+// serialCommitCost models the token-held serial phase of a commit:
+// speculatively diffed pages pay only ordering/publication bookkeeping,
+// pages whose diff had to be computed under the token pay the full serial
+// cost. With speculation disabled every page is a miss and the cost
+// reduces exactly to the pre-speculation model.
+func (t *Thread) serialCommitCost(st mem.CommitStats) int64 {
+	m := &t.rt.cfg.Model
+	return m.CommitFixed +
+		int64(st.SpecMisses)*m.CommitPageSerial +
+		int64(st.SpecHits)*m.CommitPagePublish +
+		int64(st.PulledPages)*m.UpdatePage
+}
+
+// chargeCommitSerial charges the commit's serial-phase cost and feeds the
+// live mem_commit_serial_ns metric.
+func (t *Thread) chargeCommitSerial(st mem.CommitStats) {
+	ns := t.serialCommitCost(st)
+	t.charge(obs.PhaseCommit, ns)
+	t.rt.commitSerialNS.Add(ns)
+}
+
 // acquireToken blocks until this thread holds the global token. Must not
 // already hold it.
 func (t *Thread) acquireToken() {
 	m := &t.rt.cfg.Model
+	// The wait ahead is exactly the window speculation exists for: pre-diff
+	// dirty pages now, so the token-held commit only publishes.
+	t.speculate()
 	t.publishPending()
 	t.account(obs.PhaseCompute)
 	// End-of-chunk clock read (syscall path; the user-space fast path
@@ -311,6 +360,7 @@ func (t *Thread) resyncClock() {
 // blockForToken parks until a grant wakes us holding the token. The caller
 // must already have departed and released.
 func (t *Thread) blockForToken() {
+	t.speculate() // overlap the sleep with pre-diffing, like acquireToken
 	t.b.Block()
 	t.resyncClock()
 	t.holding = true
@@ -390,9 +440,7 @@ func (t *Thread) commitAndUpdate() {
 	t.account(obs.PhaseCompute)
 	pc := t.ws.BeginCommit()
 	st := pc.Stats()
-	t.charge(obs.PhaseCommit, m.CommitFixed+
-		int64(st.CommittedPages)*m.CommitPageSerial+
-		int64(st.PulledPages)*m.UpdatePage)
+	t.chargeCommitSerial(st)
 	pc.Complete()
 	t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
 	t.mark(obs.MarkCommit, int64(st.CommittedPages))

@@ -1,6 +1,10 @@
 package mem
 
-import "sort"
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
 
 // CommitStats summarizes one commit (or pure update) for cost accounting.
 type CommitStats struct {
@@ -15,6 +19,16 @@ type CommitStats struct {
 	// PulledPages is the number of distinct remote pages whose
 	// modifications became visible by advancing the snapshot.
 	PulledPages int
+	// SpecHits counts committed pages whose diff was computed speculatively
+	// (PrepareCommit, off the serial token path) and reused as-is by the
+	// serial phase; SpecMisses counts committed pages whose diff had to be
+	// computed inside BeginCommit because no valid speculation existed —
+	// the page was written after the speculation, or PrepareCommit was
+	// never called (e.g. a commit inside a coarsened chunk, where the token
+	// never left the thread and there was no wait to overlap).
+	// SpecHits + SpecMisses == CommittedPages.
+	SpecHits   int
+	SpecMisses int
 }
 
 // PendingCommit is a commit whose serial ordering phase (BeginCommit) has
@@ -35,27 +49,91 @@ func (pc *PendingCommit) Stats() CommitStats { return pc.stats }
 // had no modified bytes (the commit degenerated to an update).
 func (pc *PendingCommit) Version() *Version { return pc.version }
 
+// rediffParallelMin is the invalidated-page count at which BeginCommit
+// fans re-diffing across a worker pool instead of the inline loop;
+// rediffWorkers bounds the pool. Diffing is a pure per-page function of
+// thread-private bytes, so the fan-out cannot change results — it only
+// shortens wall time on the real host. The simulation host charges its
+// deterministic cost model per page regardless of how the host CPU
+// computed the diff, so its modeled times are unaffected (the same way
+// CompleteThrough charges "parallel" merges from one goroutine).
+const (
+	rediffParallelMin = 16
+	rediffWorkers     = 4
+)
+
+// rediff fills dp.spec for every page in misses. Pages are independent;
+// large sets are diffed by a small worker pool.
+func (ws *Workspace) rediff(misses []int) {
+	if len(misses) < rediffParallelMin {
+		for _, pg := range misses {
+			dp := ws.dirty[pg]
+			d := computeDiff(dp.data, dp.twin)
+			dp.spec = &d
+		}
+		return
+	}
+	workers := rediffWorkers
+	if n := runtime.GOMAXPROCS(0); n < workers {
+		workers = n
+	}
+	chunk := (len(misses) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(misses); lo += chunk {
+		sub := misses[lo:min(lo+chunk, len(misses))]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, pg := range sub {
+				dp := ws.dirty[pg]
+				d := computeDiff(dp.data, dp.twin)
+				dp.spec = &d
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// touchedScratch returns the workspace's cleared pulled-page scratch set.
+func (ws *Workspace) touchedScratch() map[int]bool {
+	if ws.scratchTouched == nil {
+		ws.scratchTouched = make(map[int]bool)
+	}
+	clear(ws.scratchTouched)
+	return ws.scratchTouched
+}
+
 // BeginCommit runs the serial phase of a commit: it assigns the next
-// version number, records which pages the version modifies and computes
+// version number, records which pages the version modifies together with
 // their byte diffs, and advances the workspace snapshot past the new
 // version. The caller must serialize BeginCommit calls on a segment (the
 // deterministic runtimes do so by holding the global token), or the commit
 // order — and therefore the program's memory state — would not be
 // deterministic.
 //
+// The expensive work — importing pulled remote bytes and diffing dirty
+// pages — happens outside the segment lock: commit serialization already
+// excludes concurrent commits, and everything touched off-lock is
+// thread-private (dirty pages) or immutable (published diffs). The lock is
+// held only for the two decisions that read or write shared segment state:
+// choosing the pull window, and publishing the version (conflict checks,
+// latest/head update). Diffs are reused from PrepareCommit speculation
+// where valid; only invalidated pages are re-diffed here.
+//
 // Pages whose bytes did not actually change are dropped (their fault was
 // wasted work, which the fault counter already recorded).
 func (ws *Workspace) BeginCommit() *PendingCommit {
 	s := ws.seg
-	s.mu.Lock()
 	pc := &PendingCommit{seg: s}
+
+	// Serial decision 1 (locked): fix the pull window and collect the
+	// published slots that must patch our dirty pages.
+	s.mu.Lock()
 	oldV := ws.version
 	headBefore := s.head
-
-	// Count remote pages becoming visible (same accounting as Update).
+	var patches []*pageSlot
 	if oldV < headBefore {
-		touched := make(map[int]bool)
-		var patches []*pageSlot
+		touched := ws.touchedScratch()
 		for i := oldV - s.floor; i < headBefore-s.floor; i++ {
 			for pg, slot := range s.versions[i].Pages {
 				touched[pg] = true
@@ -65,27 +143,53 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 			}
 		}
 		pc.stats.PulledPages = len(touched)
-		// Import remote bytes into dirty pages before diffing so the commit
-		// cannot resurrect stale values for bytes this thread never wrote.
-		for _, slot := range patches {
-			dp := ws.dirty[slot.page]
-			slot.diff.applyWhereClean(dp.data, dp.twin)
-		}
+	}
+	s.mu.Unlock()
+
+	// Import remote bytes into dirty pages before diffing so the commit
+	// cannot resurrect stale values for bytes this thread never wrote.
+	// Published diffs are immutable and the patched pages are ours, so no
+	// lock is needed. applyWhereClean is diff-preserving (see
+	// dirtyPage.spec), so speculative diffs survive the import.
+	for _, slot := range patches {
+		dp := ws.dirty[slot.page]
+		slot.diff.applyWhereClean(dp.data, dp.twin)
 	}
 
-	// Diff dirty pages in deterministic (ascending page) order.
-	pages := make([]int, 0, len(ws.dirty))
+	// Diff dirty pages in deterministic (ascending page) order. Pages with
+	// valid speculative diffs are free; the invalidated rest are re-diffed
+	// here, fanned across a worker pool when there are many.
+	pages := ws.scratchPages[:0]
 	for pg := range ws.dirty {
 		pages = append(pages, pg)
 	}
-	sort.Ints(pages)
+	slices.Sort(pages)
+	ws.scratchPages = pages
 
-	var slots []*pageSlot
+	var misses []int
 	for _, pg := range pages {
+		if ws.dirty[pg].spec == nil {
+			misses = append(misses, pg)
+		}
+	}
+	ws.rediff(misses)
+
+	// Serial decision 2 (locked): conflict checks against the latest table
+	// and version publication. Nothing below computes diffs; the lock
+	// covers only version construction and the latest/head update.
+	var slots []*pageSlot
+	freed := int64(0)
+	mi := 0
+	s.mu.Lock()
+	for _, pg := range pages {
+		miss := mi < len(misses) && misses[mi] == pg
+		if miss {
+			mi++
+		}
 		dp := ws.dirty[pg]
-		diff := computeDiff(dp.data, dp.twin)
+		diff := *dp.spec
 		if diff.Empty() {
-			s.allocPages(-2) // dirty copy and twin both freed
+			freed -= 2 // dirty copy and twin both freed
 			continue
 		}
 		slot := &pageSlot{
@@ -98,20 +202,26 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 		// snapshot; phase 2 must merge rather than install our copy.
 		if slot.prev != nil && slot.prev.version.Num > oldV {
 			slot.conflict = true
-			s.allocPages(-2) // our raw copy and twin freed; merge allocates
+			freed -= 2 // our raw copy and twin freed; merge allocates
 		} else {
 			slot.fastData = dp.data // our copy becomes the committed page
-			s.allocPages(-1)        // twin freed
+			freed--                 // twin freed
 		}
 		pc.stats.DiffBytes += diff.Bytes()
+		if miss {
+			pc.stats.SpecMisses++
+		} else {
+			pc.stats.SpecHits++
+		}
 		slots = append(slots, slot)
 	}
-	ws.dirty = make(map[int]*dirtyPage)
 
 	if len(slots) == 0 {
 		// Nothing to publish: behave as an update.
 		ws.version = headBefore
 		s.mu.Unlock()
+		ws.dirty = make(map[int]*dirtyPage)
+		s.allocPages(freed)
 		s.addPulled(int64(pc.stats.PulledPages))
 		return pc
 	}
@@ -137,6 +247,8 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 	pc.stats.CommittedPages = len(slots)
 	s.mu.Unlock()
 
+	ws.dirty = make(map[int]*dirtyPage)
+	s.allocPages(freed)
 	s.noteCommit(pc.stats)
 	return pc
 }

@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // Diff is a sparse description of the bytes a committer changed within one
 // page: a sorted, non-overlapping list of runs. It is the unit of
 // byte-granularity merging, equivalent to the twin/diff comparison the
@@ -31,20 +36,98 @@ func (d Diff) Bytes() int {
 	return n
 }
 
+// Word-wide scanning constants: lo has the low bit of every byte set, hi
+// the high bit, low7 everything but the high bits.
+const (
+	wordBytes  = 8
+	blockBytes = 4 * wordBytes // unrolled scan granularity
+	loBits     = uint64(0x0101010101010101)
+	hiBits     = uint64(0x8080808080808080)
+	low7Bits   = uint64(0x7f7f7f7f7f7f7f7f)
+)
+
+// hasZeroByte is the classic zero-byte probe. It may flag spurious bytes
+// above the first zero byte, but the lowest flagged byte is always the
+// first true zero, which is the only bit the kernels below consume (via
+// TrailingZeros64).
+func hasZeroByte(x uint64) uint64 { return (x - loBits) & ^x & hiBits }
+
+// nextDiffByte returns the smallest index >= i where cur and twin differ,
+// or len(cur) if they agree to the end. Clean stretches are skipped 32
+// bytes at a time (the unroll keeps loop overhead off the dominant path),
+// then word-wide; the sub-word tail falls back to the byte loop.
+func nextDiffByte(cur, twin []byte, i int) int {
+	n := len(cur)
+	for i+blockBytes <= n {
+		c, t := cur[i:i+blockBytes], twin[i:i+blockBytes]
+		x := binary.LittleEndian.Uint64(c) ^ binary.LittleEndian.Uint64(t)
+		x |= binary.LittleEndian.Uint64(c[8:]) ^ binary.LittleEndian.Uint64(t[8:])
+		x |= binary.LittleEndian.Uint64(c[16:]) ^ binary.LittleEndian.Uint64(t[16:])
+		x |= binary.LittleEndian.Uint64(c[24:]) ^ binary.LittleEndian.Uint64(t[24:])
+		if x != 0 {
+			break // the difference is inside this block; locate it word-wide
+		}
+		i += blockBytes
+	}
+	for i+wordBytes <= n {
+		if x := binary.LittleEndian.Uint64(cur[i:]) ^ binary.LittleEndian.Uint64(twin[i:]); x != 0 {
+			// The lowest nonzero byte of the XOR is the first difference.
+			return i + bits.TrailingZeros64(x)>>3
+		}
+		i += wordBytes
+	}
+	for i < n && cur[i] == twin[i] {
+		i++
+	}
+	return i
+}
+
+// nextSameByte returns the smallest index >= i where cur and twin agree,
+// or len(cur) if they differ to the end. Dirty stretches are skipped 32
+// bytes at a time, then word-wide: a word whose XOR contains no zero byte
+// differs at all eight positions.
+func nextSameByte(cur, twin []byte, i int) int {
+	n := len(cur)
+	for i+blockBytes <= n {
+		c, t := cur[i:i+blockBytes], twin[i:i+blockBytes]
+		z := hasZeroByte(binary.LittleEndian.Uint64(c) ^ binary.LittleEndian.Uint64(t))
+		z |= hasZeroByte(binary.LittleEndian.Uint64(c[8:]) ^ binary.LittleEndian.Uint64(t[8:]))
+		z |= hasZeroByte(binary.LittleEndian.Uint64(c[16:]) ^ binary.LittleEndian.Uint64(t[16:]))
+		z |= hasZeroByte(binary.LittleEndian.Uint64(c[24:]) ^ binary.LittleEndian.Uint64(t[24:]))
+		if z != 0 {
+			break // an agreeing byte is inside this block; locate it word-wide
+		}
+		i += blockBytes
+	}
+	for i+wordBytes <= n {
+		x := binary.LittleEndian.Uint64(cur[i:]) ^ binary.LittleEndian.Uint64(twin[i:])
+		if z := hasZeroByte(x); z != 0 {
+			// The lowest zero byte of the XOR is the first agreement.
+			return i + bits.TrailingZeros64(z)>>3
+		}
+		i += wordBytes
+	}
+	for i < n && cur[i] != twin[i] {
+		i++
+	}
+	return i
+}
+
 // computeDiff compares cur against twin and returns byte-exact runs where
 // they differ, capturing cur's bytes. Both slices must be the same length.
+// The scan is word-wide (8 bytes per compare) in both the clean-skip and
+// the run-extent phases; the runs produced are identical to a
+// byte-at-a-time scan (FuzzComputeDiff pins this against the reference).
 func computeDiff(cur, twin []byte) Diff {
 	var d Diff
 	i, n := 0, len(cur)
 	for i < n {
-		if cur[i] == twin[i] {
-			i++
-			continue
+		i = nextDiffByte(cur, twin, i)
+		if i >= n {
+			break
 		}
 		start := i
-		for i < n && cur[i] != twin[i] {
-			i++
-		}
+		i = nextSameByte(cur, twin, i)
 		d.Runs = append(d.Runs, Run{Off: start, Data: append([]byte(nil), cur[start:i]...)})
 	}
 	return d
@@ -58,18 +141,44 @@ func (d Diff) apply(dst []byte) {
 	}
 }
 
+// nonzeroByteMask returns a mask with 0xff at every byte position where x
+// has a nonzero byte and 0x00 where x's byte is zero. Unlike the probe in
+// nextSameByte this is exact at every position, which the masked-merge in
+// applyWhereClean requires.
+func nonzeroByteMask(x uint64) uint64 {
+	y := ((x & low7Bits) + low7Bits) | x // high bit of each byte set iff byte nonzero
+	return ((y & hiBits) >> 7) * 0xff
+}
+
 // applyWhereClean copies the diff's bytes into dst only at positions where
 // dst still equals twin (i.e. the local thread has not overwritten them),
 // keeping twin in sync so a later local diff excludes the imported bytes.
 // This is how an Update patches remotely committed bytes into a locally
 // dirty page without clobbering the thread's own store buffer.
+//
+// The merge is word-wide: eight bytes of dst/twin are compared at once and
+// combined with the incoming bytes under a per-byte mask; the sub-word run
+// tail falls back to the byte loop (FuzzApplyWhereClean pins equivalence
+// to the byte-at-a-time reference).
 func (d Diff) applyWhereClean(dst, twin []byte) {
 	for _, r := range d.Runs {
-		for k, b := range r.Data {
-			pos := r.Off + k
-			if dst[pos] == twin[pos] {
-				dst[pos] = b
-				twin[pos] = b
+		data, pos := r.Data, r.Off
+		for len(data) >= wordBytes {
+			d8 := binary.LittleEndian.Uint64(data)
+			t8 := binary.LittleEndian.Uint64(twin[pos:])
+			s8 := binary.LittleEndian.Uint64(dst[pos:])
+			// dirty = positions the local thread overwrote; keep those.
+			dirty := nonzeroByteMask(s8 ^ t8)
+			merged := s8&dirty | d8&^dirty
+			binary.LittleEndian.PutUint64(dst[pos:], merged)
+			binary.LittleEndian.PutUint64(twin[pos:], t8&dirty|d8&^dirty)
+			data = data[wordBytes:]
+			pos += wordBytes
+		}
+		for k, b := range data {
+			if dst[pos+k] == twin[pos+k] {
+				dst[pos+k] = b
+				twin[pos+k] = b
 			}
 		}
 	}

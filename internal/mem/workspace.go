@@ -15,12 +15,27 @@ type Workspace struct {
 	// Counters since the last TakeCounters call; the runtime converts
 	// these into charged costs and stats.
 	faults int64
+
+	// Commit-path scratch, reused across BeginCommit calls to avoid
+	// re-allocating the sorted page list and the pulled-page set on every
+	// commit. Owned by the workspace's thread, like dirty.
+	scratchPages   []int
+	scratchTouched map[int]bool
 }
 
 // dirtyPage is a privately writable copy of a page plus its pristine twin.
 type dirtyPage struct {
 	data []byte
 	twin []byte
+	// spec is the page's speculative diff (PrepareCommit). The invariant: a
+	// non-nil spec always equals computeDiff(data, twin) over the current
+	// contents. Local writes reset it to nil; remote imports do NOT, because
+	// applyWhereClean is diff-preserving — it writes each pulled byte to
+	// both data and twin only at positions where data[i] == twin[i], so
+	// clean positions stay clean (both take the pulled byte) and dirty
+	// positions are untouched in both, leaving the diff byte-identical.
+	// TestApplyWhereCleanPreservesDiff/FuzzApplyWhereClean pin this.
+	spec *Diff
 }
 
 // Tid returns the owning thread id.
@@ -74,6 +89,7 @@ func (ws *Workspace) Write(data []byte, off int) {
 			n = len(data)
 		}
 		dp := ws.fault(pg)
+		dp.spec = nil // the write invalidates any speculative diff
 		copy(dp.data[po:po+n], data[:n])
 		data = data[n:]
 		off += n
@@ -157,10 +173,40 @@ func (ws *Workspace) UpdateTo(at int64) (pulled int) {
 	// phase 1 and patches is in version order because the version list is.
 	for _, slot := range patches {
 		dp := ws.dirty[slot.page]
+		// Diff-preserving (see dirtyPage.spec): any speculative diff for
+		// this page remains valid across the import.
 		slot.diff.applyWhereClean(dp.data, dp.twin)
 	}
 	s.addPulled(int64(len(touched)))
 	return len(touched)
+}
+
+// PrepareCommit speculatively computes the per-page diffs the next
+// BeginCommit will need, so that work happens off the serial token path —
+// the deterministic runtimes call it while a thread is still waiting for
+// its turn in the global order. Pages that already hold a valid
+// speculative diff are skipped, so repeated calls are cheap. A later local
+// write invalidates a page's speculation (remote imports preserve it — see
+// dirtyPage.spec) and BeginCommit re-diffs exactly the invalidated pages,
+// making speculation invisible to commit results: version contents are
+// byte-identical with and without it.
+//
+// Must be called by the owning thread; it reads and writes only
+// thread-private state, so unlike BeginCommit it needs neither the
+// caller's commit serialization nor the segment lock.
+//
+// Returns the number of pages diffed by this call (the runtime charges
+// speculation cost from it).
+func (ws *Workspace) PrepareCommit() int {
+	prepared := 0
+	for _, dp := range ws.dirty {
+		if dp.spec == nil {
+			d := computeDiff(dp.data, dp.twin)
+			dp.spec = &d
+			prepared++
+		}
+	}
+	return prepared
 }
 
 // Discard drops all uncommitted local modifications.

@@ -170,6 +170,7 @@ func phaseTotals(lanes []Lane, r *Report) {
 		tr.MergeNS = sums[obs.PhaseMerge]
 		tr.FaultNS = sums[obs.PhaseFault]
 		tr.LibNS = sums[obs.PhaseLib]
+		tr.SpecDiffNS = sums[obs.PhaseSpecDiff]
 		if live := tr.EndNS - tr.StartNS; live > 0 {
 			tr.UtilizationPct = pct(tr.ComputeNS, live)
 		}

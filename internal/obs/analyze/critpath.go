@@ -32,9 +32,10 @@ var workPriority = map[obs.Phase]int{
 	obs.PhaseLib:         1,
 	obs.PhaseFault:       2,
 	obs.PhaseMerge:       3,
-	obs.PhaseCompute:     4,
-	obs.PhaseTokenWait:   5,
-	obs.PhaseBarrierWait: 6,
+	obs.PhaseSpecDiff:    4, // like merge: commit work that runs in parallel
+	obs.PhaseCompute:     5,
+	obs.PhaseTokenWait:   6,
+	obs.PhaseBarrierWait: 7,
 }
 
 // isWait reports whether p is a blocked phase.

@@ -58,6 +58,7 @@ type ThreadReport struct {
 	MergeNS        int64   `json:"merge_ns"`
 	FaultNS        int64   `json:"fault_ns"`
 	LibNS          int64   `json:"lib_ns"`
+	SpecDiffNS     int64   `json:"spec_diff_ns"`
 	UtilizationPct float64 `json:"utilization_pct"`
 	CritPathNS     int64   `json:"critical_path_ns"`
 }

@@ -51,7 +51,7 @@ import (
 type Phase uint8
 
 // Time-category phases (span events). These refine the api.RunStats
-// breakdown: Commit and Merge together are RunStats.CommitNS.
+// breakdown: Commit, Merge and SpecDiff together are RunStats.CommitNS.
 const (
 	// PhaseCompute is thread-local work: Compute instructions, memory
 	// operations, and benchmark logic between runtime entry points.
@@ -74,6 +74,12 @@ const (
 	// PhaseLib is runtime-library overhead: clock reads, counter-overflow
 	// interrupts, token handoffs, and thread fork/reuse costs.
 	PhaseLib
+	// PhaseSpecDiff is speculative pre-token diffing: commit diff work
+	// hoisted off the serial token path into the window where the thread
+	// is about to wait for the deterministic order, so it overlaps other
+	// threads' token-held work. Folds into RunStats.CommitNS together with
+	// Commit and Merge.
+	PhaseSpecDiff
 
 	// NumTimePhases is the number of span (time-category) phases.
 	NumTimePhases
@@ -113,6 +119,7 @@ var phaseNames = map[Phase]string{
 	PhaseMerge:       "merge",
 	PhaseFault:       "fault",
 	PhaseLib:         "lib",
+	PhaseSpecDiff:    "spec-diff",
 	MarkCoarsenBegin: "coarsen-begin",
 	MarkCoarsenEnd:   "coarsen-end",
 	MarkCommit:       "commit-mark",

@@ -20,7 +20,22 @@ func TestSamplerRecordsDeltas(t *testing.T) {
 	}
 	c.Add(2)
 	g.Set(1)
-	for len(s.Points()) < 2 && time.Now().Before(deadline) {
+	// Wait until a point has captured the post-update state — checking the
+	// point count alone races Stop against the sampler when both early
+	// points landed before the updates above.
+	sawFinal := func() bool {
+		pts := s.Points()
+		if len(pts) < 2 {
+			return false
+		}
+		for _, sm := range pts[len(pts)-1].Samples {
+			if sm.Name == "work_items" {
+				return sm.Value == 7
+			}
+		}
+		return false
+	}
+	for !sawFinal() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	s.Stop()

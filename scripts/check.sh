@@ -28,4 +28,35 @@ go test -race ./internal/obs/... ./internal/det
 echo "== conseq-analyze smoke (golden trace)"
 go run ./cmd/conseq-analyze -input internal/obs/testdata/golden_trace.json >/dev/null
 
+echo "== bench smoke (1 iteration)"
+go test -run=NONE -bench=. -benchtime=1x ./internal/mem >/dev/null
+
+echo "== determinism gate (final memory + sync-trace hashes vs goldens)"
+# benchmark:checksum:tracehash at t=8 scale=1 seed=42 on the simulation
+# host. These pin program results, not timings: perf work must never move
+# them. Regenerate a line only if an intentional semantic change is fully
+# understood (run cmd/detrun with the flags above and copy the new hashes).
+goldens="
+water_nsquared:8cd4c7596c268f28:aadb9ab2a9588a2a
+canneal:52afe913b556d5da:054928fab9f631f8
+histogram:09e07ed580954ecc:caafd5842fd5020b
+kmeans:1f8b09e15b1b689c:cd6c25c0a0405d2b
+"
+for spec in $goldens; do
+    bench=${spec%%:*}
+    rest=${spec#*:}
+    want_sum=${rest%%:*}
+    want_trace=${rest#*:}
+    out=$(go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42)
+    got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+    got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+        echo "determinism gate: $bench diverged:" >&2
+        echo "  checksum $got_sum (want $want_sum)" >&2
+        echo "  trace    $got_trace (want $want_trace)" >&2
+        exit 1
+    fi
+    echo "   $bench ok"
+done
+
 echo "check: OK"
