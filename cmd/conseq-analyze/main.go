@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/det"
 	"repro/internal/harness"
 	"repro/internal/obs/analyze"
 )
@@ -33,6 +34,7 @@ func main() {
 	threads := flag.Int("threads", 8, "thread count for the live run")
 	scale := flag.Int("scale", 1, "problem-size multiplier for the live run")
 	seed := flag.Int64("seed", 42, "input seed for the live run")
+	predict := flag.Bool("predict", true, "enable write-set prediction (page prefetch during token wait) for the live run")
 	jsonOut := flag.Bool("json", false, "emit the stable JSON report instead of text")
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 			Threads: *threads,
 			Scale:   *scale,
 			Seed:    *seed,
+			Modify:  func(c *det.Config) { c.WriteSetPrediction = *predict },
 		})
 	}
 	if err != nil {

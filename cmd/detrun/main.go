@@ -42,6 +42,13 @@ import (
 	"repro/internal/workload"
 )
 
+// predictFlag gates write-set prediction on the consequence runtimes. A
+// package-level flag so mkRuntime sees it from the direct, -verify and
+// -compare paths alike. Results are identical either way (prediction is
+// an overlap optimization); the flag exists so the determinism gate can
+// assert exactly that, and so timings can be compared on/off.
+var predictFlag = flag.Bool("predict", true, "enable write-set prediction (page prefetch during token wait) on the consequence runtimes")
+
 func main() {
 	bench := flag.String("bench", "histogram", "benchmark name (see -list)")
 	rtName := flag.String("runtime", "consequence-ic", "consequence-ic | consequence-rr | dthreads | dwc | pthreads | rfdet-lrc")
@@ -304,6 +311,7 @@ func mkRuntime(name string, segSize int, h host.Host) (api.Runtime, error) {
 		if name == "consequence-rr" {
 			c.Policy = clock.PolicyRR
 		}
+		c.WriteSetPrediction = *predictFlag
 		c.SegmentSize = segSize
 		c.Model = m
 		return det.New(c, h)

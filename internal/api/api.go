@@ -100,6 +100,13 @@ type RunStats struct {
 	MergedPages    int64
 	PulledPages    int64 // Figure 16 TSO page propagation
 	PeakPages      int64 // Figure 12 memory metric
+	// Write-set prediction counters (Consequence runtimes; zero when the
+	// runtime has no predictor or it is disabled): writes that found
+	// their page prefetched, faults the predictor failed to cover, and
+	// prefetched pages dropped unwritten.
+	PrefetchHits   int64
+	PrefetchMisses int64
+	PrefetchWasted int64
 
 	// Synchronization counters.
 	TokenGrants    int64

@@ -40,6 +40,7 @@ func New(cfg Config, h host.Host) (api.Runtime, error) {
 	d.ThreadPool = false
 	d.ParallelBarrier = false
 	d.SpeculativeDiff = false
+	d.WriteSetPrediction = false
 	d.SingleGlobalLock = true
 	d.NameOverride = "dwc"
 	d.SegmentSize = cfg.SegmentSize

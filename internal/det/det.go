@@ -35,6 +35,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/trace"
 )
 
@@ -90,6 +91,21 @@ type Config struct {
 	// Consistency model make the same observation: only publication must
 	// be ordered, diffing is free to overlap).
 	SpeculativeDiff bool
+	// WriteSetPrediction moves copy-on-write fault servicing off the token
+	// critical path the same way SpeculativeDiff moves diffing: each
+	// thread keeps a deterministic per-sync-site history of the pages its
+	// chunks wrote (internal/predict, keyed like the unlock chunk
+	// estimators), and on the next visit to a site pre-populates the
+	// predicted pages (mem.Workspace.Prepopulate) while waiting for the
+	// deterministic order. Prediction is advisory: a mispredicted page is
+	// byte-identical to the committed state and is dropped unpublished, so
+	// checksums, sync traces and commit order are identical with it on or
+	// off — only the modeled time moves. The knob also gates the
+	// satellite serial-path trims that ride on the same machinery
+	// (pre-diffing coarsened-chunk commits, skipping the publish floor for
+	// empty commits), so disabling it reproduces the pre-prediction time
+	// model exactly.
+	WriteSetPrediction bool
 
 	// ChunkLimit > 0 forces a commit+update after that many instructions
 	// without one, supporting ad-hoc synchronization (§2.7). The paper's
@@ -146,6 +162,7 @@ func Default() Config {
 		PoolCap:               64,
 		ParallelBarrier:       true,
 		SpeculativeDiff:       true,
+		WriteSetPrediction:    true,
 		SegmentSize:           1 << 24,
 		// GCPageBudget models the single-threaded Conversion collector: a
 		// bounded reclaim per pass, so programs that churn pages faster
@@ -286,6 +303,9 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	r.Func("mem_pulled_pages", memFunc(func(s mem.Stats) int64 { return s.PulledPages }))
 	r.Func("mem_spec_diff_hits", memFunc(func(s mem.Stats) int64 { return s.SpecDiffHits }))
 	r.Func("mem_spec_diff_misses", memFunc(func(s mem.Stats) int64 { return s.SpecDiffMisses }))
+	r.Func("mem_prefetch_hits", memFunc(func(s mem.Stats) int64 { return s.PrefetchHits }))
+	r.Func("mem_prefetch_misses", memFunc(func(s mem.Stats) int64 { return s.PrefetchMisses }))
+	r.Func("mem_prefetch_wasted", memFunc(func(s mem.Stats) int64 { return s.PrefetchWasted }))
 	r.Func("mem_commit_serial_ns", rt.commitSerialNS.Load)
 	r.Func("mem_gc_runs", memFunc(func(s mem.Stats) int64 { return s.GCRuns }))
 	r.Func("mem_gc_reclaimed_pages", memFunc(func(s mem.Stats) int64 { return s.GCReclaimedPages }))
@@ -370,6 +390,15 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
 	}
 	t.coarse.maxChunk = rt.cfg.MaxChunkInit
+	if rt.cfg.WriteSetPrediction {
+		// One history table per thread, like the unlock estimators: tables
+		// are consulted only from the owning thread and trained only on its
+		// own deterministic chunk history, so no cross-thread state exists
+		// to perturb. A pooled workspace keeps SetPredict across Rebind;
+		// re-arming is idempotent.
+		t.pred = predict.New()
+		ws.SetPredict(true)
+	}
 	if o := rt.obs; o != nil {
 		// Per-thread instruments, cached so the hot paths pay one nil
 		// check (lane) or one atomic add (counters), never a registry
@@ -444,6 +473,9 @@ func (rt *Runtime) Stats() api.RunStats {
 	s.MergedPages = ms.MergedPages
 	s.PulledPages = ms.PulledPages
 	s.PeakPages = ms.PeakPages
+	s.PrefetchHits = ms.PrefetchHits
+	s.PrefetchMisses = ms.PrefetchMisses
+	s.PrefetchWasted = ms.PrefetchWasted
 	s.TokenGrants = rt.arb.Stats().Grants
 	return s
 }
@@ -456,13 +488,15 @@ func (rt *Runtime) aggregate(t *Thread) {
 	defer rt.aggMu.Unlock()
 	a := &rt.agg.RunStats
 	// Commit, merge and speculative diffing are distinct trace phases but
-	// one RunStats category, preserving the seed's Figure 15 breakdown.
+	// one RunStats category, preserving the seed's Figure 15 breakdown;
+	// likewise prefetch is page-population time and folds into Fault.
 	commitNS := t.bd[obs.PhaseCommit] + t.bd[obs.PhaseMerge] + t.bd[obs.PhaseSpecDiff]
+	faultNS := t.bd[obs.PhaseFault] + t.bd[obs.PhasePrefetch]
 	a.LocalWorkNS += t.bd[obs.PhaseCompute]
 	a.DetermWaitNS += t.bd[obs.PhaseTokenWait]
 	a.BarrierWaitNS += t.bd[obs.PhaseBarrierWait]
 	a.CommitNS += commitNS
-	a.FaultNS += t.bd[obs.PhaseFault]
+	a.FaultNS += faultNS
 	a.LibNS += t.bd[obs.PhaseLib]
 	a.SyncOps += t.syncOps
 	a.CoarsenedOps += t.coarsenedOps
@@ -472,7 +506,7 @@ func (rt *Runtime) aggregate(t *Thread) {
 		DetermWait:  t.bd[obs.PhaseTokenWait],
 		BarrierWait: t.bd[obs.PhaseBarrierWait],
 		Commit:      commitNS,
-		Fault:       t.bd[obs.PhaseFault],
+		Fault:       faultNS,
 		Lib:         t.bd[obs.PhaseLib],
 	})
 	if now := t.b.Now(); now > a.WallNS {

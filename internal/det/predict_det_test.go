@@ -1,0 +1,121 @@
+package det_test
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/costmodel"
+	"repro/internal/host/simhost"
+)
+
+// stencilProg is an iterative barrier program where every thread re-writes
+// its own pages each round — the access pattern write-set prediction is
+// built for. Each thread's slab spans two pages so prefetch must cover
+// multi-page sets.
+func stencilProg(n, iters int) func(api.T) {
+	return func(t api.T) {
+		const slab = 2 * 4096
+		bar := t.NewBarrier(n)
+		worker := func(id int) func(api.T) {
+			return func(t api.T) {
+				base := id * slab
+				for it := 1; it <= iters; it++ {
+					api.PutU64(t, base, uint64(it*1000+id))
+					api.PutU64(t, base+4096, uint64(it*2000+id))
+					t.Compute(2000)
+					t.BarrierWait(bar)
+				}
+			}
+		}
+		var hs []api.Handle
+		for i := 1; i < n; i++ {
+			hs = append(hs, t.Spawn(worker(i)))
+		}
+		worker(0)(t)
+		for _, h := range hs {
+			t.Join(h)
+		}
+	}
+}
+
+// TestPredictionPreservesResults is the subsystem's core contract: write-set
+// prediction is a pure overlap optimization, so checksums and sync-order
+// traces are byte-identical with it on or off — on every host, for both the
+// lock-keyed and the barrier-keyed prefetch paths.
+func TestPredictionPreservesResults(t *testing.T) {
+	progs := map[string]func(api.T){
+		"locks":    counterProg(4, 20),
+		"barriers": stencilProg(4, 6),
+	}
+	for name, prog := range progs {
+		t.Run(name, func(t *testing.T) {
+			for _, hm := range allHosts() {
+				t.Run(hm.name, func(t *testing.T) {
+					on := cfg()
+					on.WriteSetPrediction = true
+					off := cfg()
+					off.WriteSetPrediction = false
+					sumOn, trOn, _ := run(t, on, hm.mk(), prog)
+					sumOff, trOff, _ := run(t, off, hm.mk(), prog)
+					if sumOn != sumOff {
+						t.Errorf("checksum differs: on %016x, off %016x", sumOn, sumOff)
+					}
+					if trOn.Hash() != trOff.Hash() {
+						t.Errorf("trace hash differs: on %016x, off %016x", trOn.Hash(), trOff.Hash())
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPredictionEngages guards against the subsystem silently never firing
+// (a regression that determinism tests cannot catch, since prediction off
+// is also correct): the iterative stencil must hit on most of its repeated
+// writes, and its prediction counters must reproduce exactly across runs
+// and stay zero when disabled.
+func TestPredictionEngages(t *testing.T) {
+	runStats := func(predict bool) api.RunStats {
+		c := cfg()
+		c.WriteSetPrediction = predict
+		_, _, rt := run(t, c, simhost.New(costmodel.Default()), stencilProg(4, 8))
+		return rt.Stats()
+	}
+	on := runStats(true)
+	if on.PrefetchHits == 0 {
+		t.Fatalf("stencil produced no prefetch hits (misses %d)", on.PrefetchMisses)
+	}
+	if on.PrefetchHits < on.PrefetchMisses {
+		t.Errorf("iterative stencil should mostly hit: %d hits vs %d misses",
+			on.PrefetchHits, on.PrefetchMisses)
+	}
+	again := runStats(true)
+	if again.PrefetchHits != on.PrefetchHits || again.PrefetchMisses != on.PrefetchMisses ||
+		again.PrefetchWasted != on.PrefetchWasted {
+		t.Errorf("prediction counters not reproducible: %d/%d/%d vs %d/%d/%d",
+			again.PrefetchHits, again.PrefetchMisses, again.PrefetchWasted,
+			on.PrefetchHits, on.PrefetchMisses, on.PrefetchWasted)
+	}
+	off := runStats(false)
+	if off.PrefetchHits != 0 || off.PrefetchMisses != 0 || off.PrefetchWasted != 0 {
+		t.Errorf("disabled run counted prefetches: %d/%d/%d",
+			off.PrefetchHits, off.PrefetchMisses, off.PrefetchWasted)
+	}
+}
+
+// TestPredictionAcrossThreadCounts pins that per-thread history tables keep
+// results thread-count-stable: for every thread count the predicted run
+// matches the unpredicted run of the same shape.
+func TestPredictionAcrossThreadCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		on := cfg()
+		on.WriteSetPrediction = true
+		off := cfg()
+		off.WriteSetPrediction = false
+		sumOn, trOn, _ := run(t, on, simhost.New(costmodel.Default()), stencilProg(n, 5))
+		sumOff, trOff, _ := run(t, off, simhost.New(costmodel.Default()), stencilProg(n, 5))
+		if sumOn != sumOff || trOn.Hash() != trOff.Hash() {
+			t.Errorf("n=%d: prediction changed results (checksum %016x vs %016x)", n, sumOn, sumOff)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func (t *Thread) NewBarrier(parties int) api.Barrier {
 // Lock implements api.T (Figure 7's mutexLock).
 func (t *Thread) Lock(mx api.Mutex) {
 	m := mx.(*dMutex)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteLock, m.id))
 	for {
 		t.tokenBegin()
 		if !m.locked {
@@ -119,7 +119,7 @@ func (t *Thread) Lock(mx api.Mutex) {
 // must hold the token because it performs a commit.
 func (t *Thread) Unlock(mx api.Mutex) {
 	m := mx.(*dMutex)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteUnlock, m.id))
 	t.tokenBegin()
 	t.unlockLocked(m, trace.OpUnlock)
 	t.tokenEnd(coarsenUnlock, t.unlockEstimator(m.id).estimate())
@@ -154,7 +154,7 @@ func (t *Thread) unlockLocked(m *dMutex, op trace.Op) {
 func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 	c := cx.(*dCond)
 	m := mx.(*dMutex)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteCondWait, c.id))
 	t.tokenBegin()
 	t.uncoarsen() // cond ops terminate coarsened chunks (§3.1)
 	t.unlockLocked(m, trace.OpWait)
@@ -185,7 +185,7 @@ func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 // Signal implements api.T: wake (re-arm) the longest-waiting thread.
 func (t *Thread) Signal(cx api.Cond) {
 	c := cx.(*dCond)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteSignal, c.id))
 	t.tokenBegin()
 	t.uncoarsen()
 	t.record(trace.OpSignal, c.id)
@@ -203,7 +203,7 @@ func (t *Thread) Signal(cx api.Cond) {
 // Broadcast implements api.T: wake all waiters.
 func (t *Thread) Broadcast(cx api.Cond) {
 	c := cx.(*dCond)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteBroadcast, c.id))
 	t.tokenBegin()
 	t.uncoarsen()
 	t.record(trace.OpBcast, c.id)
@@ -224,7 +224,7 @@ func (t *Thread) Broadcast(cx api.Cond) {
 // barrier with a view of the same segment version.
 func (t *Thread) BarrierWait(bx api.Barrier) {
 	bar := bx.(*dBarrier)
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteBarrier, bar.id))
 	if !t.holding {
 		t.acquireToken()
 		t.mimdAdapt()
@@ -248,6 +248,9 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 
 	last := len(bar.waiting) == bar.parties-1
 	if t.rt.cfg.ParallelBarrier {
+		// A coarsened arrival never waited, so nothing is pre-diffed yet;
+		// a no-op for arrivals that speculated on the way in.
+		t.specPrepare()
 		t.account(obs.PhaseCompute)
 		pc := t.ws.BeginCommit()
 		st := pc.Stats()
@@ -297,6 +300,12 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 // where the token is not held.
 func (t *Thread) barrierSleep(bar *dBarrier) {
 	m := &t.rt.cfg.Model
+	// The rendezvous is the barrier path's off-token wait: prefetch the
+	// next chunk's predicted write set here, like speculate does for token
+	// waits. The copies are taken at the pre-barrier version; the UpdateTo
+	// below patches them forward like any clean page, so they stay
+	// byte-identical to committed state until written.
+	t.prefetchNext()
 	t.account(obs.PhaseCommit)
 	t.b.Block()
 	t.account(obs.PhaseBarrierWait)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,16 @@ type Thread struct {
 	// mispredicts both (see DESIGN.md).
 	prevUnlockID uint64
 	unlockEWMA   map[uint64]*ewma
+
+	// pred is the thread's write-set history (nil when prediction is
+	// disabled), keyed by sync site like unlockEWMA: chunkSite is the
+	// site of the sync op that started the current chunk, so at the next
+	// sync op the chunk's observed write set (ws.TakeChunkWrites) trains
+	// that site, and speculate consults the same key to prefetch.
+	// predScratch is the reused prediction output buffer.
+	pred        *predict.Table
+	chunkSite   uint64
+	predScratch []int
 
 	// bd accumulates the per-phase time breakdown. lastEvent is the host
 	// time at the last accounting boundary: every call to account/charge
@@ -270,26 +281,76 @@ func (t *Thread) Write(data []byte, off int) {
 
 // speculate runs the off-token commit pipeline on the way into a token
 // wait (§4.2 extended: only publication must be ordered — everything else
-// may overlap the deterministic-order wait). Two steps: import the remote
-// versions already published (their diffs are immutable after phase 1, the
-// same property barrierSleep's off-token update relies on), shrinking the
-// pull window the token-held serial phase must process to whatever commits
-// during the wait; then pre-diff the workspace's dirty pages, so the
-// serial phase pays only publication cost for every page not locally
-// rewritten in the meantime. The import is a prefix of the window the
-// commit would import anyway, patched in the same version order, so
-// commit results are byte-identical with and without it.
-// A no-op when disabled or when there is nothing to import or diff.
+// may overlap the deterministic-order wait). Three steps: import the
+// remote versions already published (their diffs are immutable after
+// phase 1, the same property barrierSleep's off-token update relies on),
+// shrinking the pull window the token-held serial phase must process to
+// whatever commits during the wait; pre-diff the workspace's dirty pages,
+// so the serial phase pays only publication cost for every page not
+// locally rewritten in the meantime; and pre-populate the pages the
+// write-set predictor expects the next chunk to touch, so its
+// copy-on-write faults are serviced here instead of on the path. The
+// import is a prefix of the window the commit would import anyway,
+// patched in the same version order, and prefetched pages are
+// byte-identical to the committed state until written (dropped unwritten),
+// so commit results are byte-identical with and without any of it.
+// A no-op when disabled or when there is nothing to import, diff, or
+// prefetch.
 func (t *Thread) speculate() {
-	if !t.rt.cfg.SpeculativeDiff {
+	cfg := &t.rt.cfg
+	m := &cfg.Model
+	if cfg.SpeculativeDiff {
+		t.account(obs.PhaseCompute)
+		ns := int64(t.ws.Update()) * m.UpdatePage
+		ns += int64(t.ws.PrepareCommit()) * m.SpecDiffPage
+		if ns > 0 {
+			t.charge(obs.PhaseSpecDiff, ns)
+		}
+	}
+	t.prefetchNext()
+}
+
+// prefetchNext pre-populates the pages the write-set predictor expects
+// the next chunk to write, charging prefetch time off the critical path.
+// Called wherever a thread is about to wait with the token released: on
+// the way into a token wait (speculate) and on the way into a barrier
+// rendezvous sleep (barrierSleep) — the latter matters because barrier
+// programs never block in acquireToken, so without it the whole barrier
+// class (stencil codes re-writing the same tile every iteration) would
+// never prefetch. A no-op when prediction is disabled or the site is
+// untrained.
+func (t *Thread) prefetchNext() {
+	if t.pred == nil {
+		return
+	}
+	// The chunk that follows the sync op now waiting is keyed by that
+	// op's site (chunkSite, set in syncOpStart before any token work).
+	t.predScratch = t.pred.Predict(t.chunkSite, t.predScratch[:0])
+	if len(t.predScratch) > 0 {
+		t.account(obs.PhaseCompute)
+		if n := t.ws.Prepopulate(t.predScratch); n > 0 {
+			t.charge(obs.PhasePrefetch, int64(n)*t.rt.cfg.Model.PrepopulatePage)
+		}
+	}
+}
+
+// specPrepare pre-diffs the workspace ahead of a commit that never had a
+// token wait to overlap — the commits that end or punctuate a coarsened
+// chunk, where the token never left the thread and speculate never ran.
+// The diff work still happens token-held, but through the speculative
+// path (SpecDiffPage + CommitPagePublish per page) instead of the heavier
+// in-commit serial path (CommitPageSerial per page). Gated with the
+// prediction knob so that disabling WriteSetPrediction reproduces the
+// pre-prediction time model exactly; a no-op after a speculated wait
+// (everything is already diffed).
+func (t *Thread) specPrepare() {
+	cfg := &t.rt.cfg
+	if !cfg.WriteSetPrediction || !cfg.SpeculativeDiff {
 		return
 	}
 	t.account(obs.PhaseCompute)
-	m := &t.rt.cfg.Model
-	ns := int64(t.ws.Update()) * m.UpdatePage
-	ns += int64(t.ws.PrepareCommit()) * m.SpecDiffPage
-	if ns > 0 {
-		t.charge(obs.PhaseSpecDiff, ns)
+	if n := t.ws.PrepareCommit(); n > 0 {
+		t.charge(obs.PhaseSpecDiff, int64(n)*cfg.Model.SpecDiffPage)
 	}
 }
 
@@ -298,8 +359,19 @@ func (t *Thread) speculate() {
 // pages whose diff had to be computed under the token pay the full serial
 // cost. With speculation disabled every page is a miss and the cost
 // reduces exactly to the pre-speculation model.
+//
+// A commit whose dirty set turned out empty after diffing publishes
+// nothing — no version, no conflict checks, no head movement — so with
+// prediction enabled it skips the per-commit publication floor
+// (CommitFixed) and pays only for the pages it pulled. Lock-heavy
+// programs commit at every unlock whether or not the critical section
+// wrote; their empty commits are pure floor. Gated with the prediction
+// knob so disabling it reproduces the earlier time model exactly.
 func (t *Thread) serialCommitCost(st mem.CommitStats) int64 {
 	m := &t.rt.cfg.Model
+	if t.rt.cfg.WriteSetPrediction && st.CommittedPages == 0 {
+		return int64(st.PulledPages) * m.UpdatePage
+	}
 	return m.CommitFixed +
 		int64(st.SpecMisses)*m.CommitPageSerial +
 		int64(st.SpecHits)*m.CommitPagePublish +
@@ -378,7 +450,10 @@ func (t *Thread) tokenBegin() {
 	if t.holding {
 		// Inside a coarsened chunk: the token never left us, remote commits
 		// are impossible, so no commit/update is needed. Pay the chunk-end
-		// clock read — user-space if the optimization is on (§3.4).
+		// clock read — user-space if the optimization is on (§3.4) — and
+		// pre-diff what the chunk has written so far, spreading the
+		// eventual chunk-ending commit's diff work across the chunk's sync
+		// ops instead of leaving it all for the in-commit serial path.
 		m := &t.rt.cfg.Model
 		cost := m.SyscallClockRead
 		if t.rt.cfg.UserspaceClockRead {
@@ -386,6 +461,7 @@ func (t *Thread) tokenBegin() {
 		}
 		t.account(obs.PhaseCompute)
 		t.charge(obs.PhaseLib, cost)
+		t.specPrepare()
 		return
 	}
 	t.acquireToken()
@@ -437,6 +513,10 @@ func (t *Thread) commitAndUpdate() {
 		panic("det: commit without token")
 	}
 	m := &t.rt.cfg.Model
+	// Commits that end a coarsened chunk never waited, so speculate never
+	// pre-diffed them; do it here through the cheaper speculative path
+	// (a no-op after a speculated wait — everything is already diffed).
+	t.specPrepare()
 	t.account(obs.PhaseCompute)
 	pc := t.ws.BeginCommit()
 	st := pc.Stats()
@@ -463,15 +543,49 @@ func (t *Thread) record(op trace.Op, obj uint64) {
 	t.rt.rec.Record(t.tid, op, obj, t.icount)
 }
 
+// Sync-site kinds, composed with the operation's object id into the
+// write-set predictor's site keys. Distinct kinds keep a Lock and an
+// Unlock of the same mutex from sharing one history entry: the chunk
+// after a Lock is the critical section, the chunk after its Unlock is
+// whatever follows — different code, different write sets.
+const (
+	siteLock uint64 = iota + 1
+	siteUnlock
+	siteCondWait
+	siteSignal
+	siteBroadcast
+	siteBarrier
+	siteSpawn
+	siteJoin
+	siteExit
+)
+
+// siteID composes a predictor site key from a sync-op kind and its object
+// id. Object ids are deterministic (tid-and-sequence for user objects), so
+// site keys are too. Spawn/join/exit pass obj 0: their per-instance ids
+// never repeat, so keying on them would never produce a second visit to
+// train against.
+func siteID(kind, obj uint64) uint64 { return kind<<56 | obj&(1<<56-1) }
+
 // syncOpStart updates per-thread chunk statistics at the start of every
-// synchronization operation. Unlock estimates only learn from chunks that
-// followed an unlock of the matching mutex — the case they are consulted
-// for.
-func (t *Thread) syncOpStart() {
+// synchronization operation; site is the operation's predictor key
+// (siteID). Unlock estimates only learn from chunks that followed an
+// unlock of the matching mutex — the case they are consulted for. The
+// write-set predictor follows the same discipline: the chunk now ending
+// trains the site that started it, and the site now starting becomes the
+// key the next speculate consults.
+func (t *Thread) syncOpStart(site uint64) {
 	chunk := t.icount - t.lastSyncIcount
 	if t.prevUnlockID != 0 {
 		t.unlockEstimator(t.prevUnlockID).update(float64(chunk))
 		t.prevUnlockID = 0
+	}
+	if t.pred != nil {
+		writes := t.ws.TakeChunkWrites()
+		if t.chunkSite != 0 {
+			t.pred.Train(t.chunkSite, writes)
+		}
+		t.chunkSite = site
 	}
 	t.lastSyncIcount = t.icount
 	t.syncOps++

@@ -21,7 +21,7 @@ import (
 func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 	rt := t.rt
 	m := &rt.cfg.Model
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteSpawn, 0))
 	t.tokenBegin() // commits our writes: the child must see them
 	t.uncoarsen()
 
@@ -84,7 +84,7 @@ func (t *Thread) Join(h api.Handle) {
 	if !ok {
 		panic("det: foreign handle")
 	}
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteJoin, 0))
 	for {
 		t.tokenBegin()
 		t.uncoarsen()
@@ -109,7 +109,7 @@ func (t *Thread) Join(h api.Handle) {
 // release the workspace, fold statistics, and leave the clock order.
 func (t *Thread) exit() {
 	rt := t.rt
-	t.syncOpStart()
+	t.syncOpStart(siteID(siteExit, 0))
 	t.tokenBegin() // commits final writes
 	t.uncoarsen()
 	t.done = true

@@ -179,10 +179,58 @@ func TableLRC(s Sweep) (map[string]map[string]int64, string, error) {
 	return data, text, nil
 }
 
+// TablePrefetch ablates write-set prediction (internal/predict): per-site
+// page prefetch overlapped with the token wait. Results are identical
+// either way — scripts/check.sh asserts the checksums and sync traces
+// byte-for-byte — so the interesting columns are the wall-time delta and
+// how well the last-value predictor covers the fault stream (hits vs
+// misses vs prefetched-but-unwritten pages).
+func TablePrefetch(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	benches := []string{"canneal", "water_nsquared", "kmeans", "histogram", "ocean_cp", "dedup"}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		off, err := Run(Options{
+			Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+			Scale: s.Scale, Seed: s.Seed,
+			Modify: func(c *det.Config) { c.WriteSetPrediction = false },
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		on, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, "", err
+		}
+		st := on.Stats
+		data[bench] = map[string]int64{
+			"off":    off.WallNS,
+			"on":     on.WallNS,
+			"hits":   st.PrefetchHits,
+			"misses": st.PrefetchMisses,
+			"wasted": st.PrefetchWasted,
+		}
+		covered := ""
+		if tot := st.PrefetchHits + st.PrefetchMisses; tot > 0 {
+			covered = fmt.Sprintf("%.1f%%", 100*float64(st.PrefetchHits)/float64(tot))
+		}
+		rows = append(rows, []string{bench, ms(off.WallNS), ms(on.WallNS),
+			fmt.Sprintf("%.2fx", float64(off.WallNS)/float64(on.WallNS)),
+			fmt.Sprint(st.PrefetchHits), fmt.Sprint(st.PrefetchMisses),
+			fmt.Sprint(st.PrefetchWasted), covered})
+	}
+	header := []string{"benchmark", "off(ms)", "on(ms)", "off/on", "hits", "misses", "wasted", "coverage"}
+	text := "Write-set prediction ablation (8 threads; hits = writes landing on prefetched pages, coverage = hits/(hits+misses))\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
 // Tables maps table names to their generators (the -table CLI flag).
 var Tables = map[string]func(Sweep) (map[string]map[string]int64, string, error){
 	"polling":    TablePolling,
 	"chunklimit": TableChunkLimit,
 	"pagesize":   TablePageSize,
 	"lrc":        TableLRC,
+	"prefetch":   TablePrefetch,
 }

@@ -178,6 +178,8 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 	// and version publication. Nothing below computes diffs; the lock
 	// covers only version construction and the latest/head update.
 	var slots []*pageSlot
+	kept := ws.scratchKept[:0]
+	var wasted int64
 	freed := int64(0)
 	mi := 0
 	s.mu.Lock()
@@ -189,6 +191,20 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 		dp := ws.dirty[pg]
 		diff := *dp.spec
 		if diff.Empty() {
+			// Prefetched pages never written live through exactly one
+			// commit: fresh ones are retained (demoted to stale) so the
+			// chunk they were prefetched for — which runs after this very
+			// commit — still finds them; stale ones were a wasted
+			// prediction and are dropped. Either way the empty diff keeps
+			// them out of every commit statistic.
+			if ws.predict && dp.pf == pfFresh {
+				dp.pf = pfStale
+				kept = append(kept, pg)
+				continue
+			}
+			if dp.pf != pfNone {
+				wasted++
+			}
 			freed -= 2 // dirty copy and twin both freed
 			continue
 		}
@@ -220,9 +236,10 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 		// Nothing to publish: behave as an update.
 		ws.version = headBefore
 		s.mu.Unlock()
-		ws.dirty = make(map[int]*dirtyPage)
+		ws.resetDirty(pages, kept)
 		s.allocPages(freed)
 		s.addPulled(int64(pc.stats.PulledPages))
+		s.notePrefetchWasted(wasted)
 		return pc
 	}
 
@@ -247,10 +264,34 @@ func (ws *Workspace) BeginCommit() *PendingCommit {
 	pc.stats.CommittedPages = len(slots)
 	s.mu.Unlock()
 
-	ws.dirty = make(map[int]*dirtyPage)
+	ws.resetDirty(pages, kept)
 	s.allocPages(freed)
 	s.noteCommit(pc.stats)
+	s.notePrefetchWasted(wasted)
 	return pc
+}
+
+// resetDirty clears the dirty set after a commit, retaining only the
+// prefetched pages in kept. pages is the commit's full (ascending) page
+// list and kept an ascending subset of it; both are workspace scratch.
+// A retained page stays byte-identical to the committed state at the
+// workspace's new version: its own commit did not publish it (empty
+// diff), and every prior patch imported remote bytes into data and twin
+// alike.
+func (ws *Workspace) resetDirty(pages, kept []int) {
+	ws.scratchKept = kept
+	if len(kept) == 0 {
+		ws.dirty = make(map[int]*dirtyPage)
+		return
+	}
+	ki := 0
+	for _, pg := range pages {
+		if ki < len(kept) && kept[ki] == pg {
+			ki++
+			continue
+		}
+		delete(ws.dirty, pg)
+	}
 }
 
 // Complete runs the merge phase: every page the version touches gets its

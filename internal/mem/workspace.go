@@ -16,12 +16,39 @@ type Workspace struct {
 	// these into charged costs and stats.
 	faults int64
 
+	// predict enables write-set logging and page prefetching: faults and
+	// first-writes are recorded into chunkWrites (the training signal for
+	// the runtime's write-set predictor), and Prepopulate may install
+	// prefetched pages that survive exactly one commit (see dirtyPage.pf).
+	predict bool
+	// chunkWrites logs the pages this chunk wrote (CoW faults plus first
+	// writes to prefetched pages), in first-touch order, since the last
+	// TakeChunkWrites. Only maintained while predict is set.
+	chunkWrites []int
+
 	// Commit-path scratch, reused across BeginCommit calls to avoid
-	// re-allocating the sorted page list and the pulled-page set on every
-	// commit. Owned by the workspace's thread, like dirty.
+	// re-allocating the sorted page list, the retained-prefetch list and
+	// the pulled-page set on every commit. Owned by the workspace's
+	// thread, like dirty.
 	scratchPages   []int
+	scratchKept    []int
 	scratchTouched map[int]bool
 }
+
+// Prefetch states of a dirty page (dirtyPage.pf).
+const (
+	// pfNone: an ordinary copy-on-write page (faulted by a local write).
+	pfNone uint8 = iota
+	// pfFresh: installed by Prepopulate and not yet written. A fresh page
+	// survives the next commit (the commit of the very sync op whose wait
+	// the prefetch overlapped — the chunk it was prefetched for runs after
+	// that commit), demoted to stale.
+	pfFresh
+	// pfStale: a prefetched page that survived one commit without ever
+	// being written. The next commit drops it as a wasted prefetch unless
+	// a Prepopulate re-predicts it first (refreshing it to pfFresh).
+	pfStale
+)
 
 // dirtyPage is a privately writable copy of a page plus its pristine twin.
 type dirtyPage struct {
@@ -36,6 +63,13 @@ type dirtyPage struct {
 	// positions are untouched in both, leaving the diff byte-identical.
 	// TestApplyWhereCleanPreservesDiff/FuzzApplyWhereClean pin this.
 	spec *Diff
+	// pf is the page's prefetch state. A prefetched page holds data == twin
+	// (no local modifications), which makes it semantically equivalent to a
+	// clean page: updates import every remote byte into both copies
+	// (applyWhereClean degenerates to a full copy), its diff is empty, and
+	// commits drop it before any stats are counted — so prefetching can
+	// never change memory contents, commit order, or commit statistics.
+	pf uint8
 }
 
 // Tid returns the owning thread id.
@@ -89,6 +123,17 @@ func (ws *Workspace) Write(data []byte, off int) {
 			n = len(data)
 		}
 		dp := ws.fault(pg)
+		if dp.pf != pfNone {
+			// First write to a prefetched page: the copy is already here, so
+			// no fault was taken — the prefetch hit. It now carries local
+			// modifications like any other dirty page, and it belongs in the
+			// chunk's write set.
+			dp.pf = pfNone
+			ws.seg.notePrefetchHits(1)
+			if ws.predict {
+				ws.chunkWrites = append(ws.chunkWrites, pg)
+			}
+		}
 		dp.spec = nil // the write invalidates any speculative diff
 		copy(dp.data[po:po+n], data[:n])
 		data = data[n:]
@@ -109,8 +154,11 @@ func (ws *Workspace) fault(pg int) *dirtyPage {
 	}
 	ws.dirty[pg] = dp
 	ws.faults++
-	ws.seg.noteFaults(1)
+	ws.seg.noteFault(ws.predict)
 	ws.seg.allocPages(2)
+	if ws.predict {
+		ws.chunkWrites = append(ws.chunkWrites, pg)
+	}
 	return dp
 }
 
@@ -207,6 +255,80 @@ func (ws *Workspace) PrepareCommit() int {
 		}
 	}
 	return prepared
+}
+
+// SetPredict switches write-set logging and prefetch support on or off.
+// While enabled, the workspace records each chunk's written pages (see
+// TakeChunkWrites) and BeginCommit retains unwritten prefetched pages for
+// one commit instead of dropping them. Off by default; the deterministic
+// runtime enables it when write-set prediction is configured.
+func (ws *Workspace) SetPredict(on bool) {
+	ws.predict = on
+	if !on {
+		ws.chunkWrites = nil
+	}
+}
+
+// TakeChunkWrites returns the pages written since the previous call (CoW
+// faults plus first writes to prefetched pages, in first-touch order,
+// possibly with duplicates across Take boundaries — callers canonicalize)
+// and resets the log. The returned slice is only valid until the next
+// workspace write: it aliases the log buffer, which is reused. Always
+// empty when predict is off.
+func (ws *Workspace) TakeChunkWrites() []int {
+	w := ws.chunkWrites
+	ws.chunkWrites = ws.chunkWrites[:0]
+	return w
+}
+
+// emptyDiff backs the speculative diff of prefetched pages: a prefetched
+// page holds data == twin, whose diff is empty, so sharing one immutable
+// zero-value Diff avoids a per-page allocation. BeginCommit copies specs
+// by value and rediff replaces the pointer, so nothing ever writes
+// through it.
+var emptyDiff Diff
+
+// Prepopulate installs copy-on-write copies of the given pages ahead of
+// the writes a predictor expects, so those writes will not fault. It is
+// the fault-servicing analogue of PrepareCommit: work hoisted off the
+// serial token path into the deterministic-order wait.
+//
+// Pages already dirty are skipped (a previously prefetched page is
+// refreshed to survive the next commit — re-predicting it renews its
+// lease). Populated pages take the CoW copy without counting a fault and
+// with an empty speculative diff pre-installed (valid because data ==
+// twin). A mispredicted page is pure off-token waste: it stays
+// byte-identical to the committed state through every update and commit
+// patch (applyWhereClean imports all remote bytes into both copies), its
+// commit diff is empty, and BeginCommit drops it before any statistic is
+// counted — memory contents, commit order, and commit stats are exactly
+// as if it had never been prefetched.
+//
+// Returns the number of pages newly populated (the runtime charges
+// prefetch cost from it; refreshes are free — no copy happens).
+func (ws *Workspace) Prepopulate(pages []int) (populated int) {
+	for _, pg := range pages {
+		if pg < 0 || pg >= ws.seg.NumPages() {
+			continue
+		}
+		if dp, ok := ws.dirty[pg]; ok {
+			if dp.pf == pfStale {
+				dp.pf = pfFresh
+			}
+			continue
+		}
+		base := ws.seg.committedPage(pg, ws.version)
+		dp := &dirtyPage{
+			data: append([]byte(nil), base...),
+			twin: append([]byte(nil), base...),
+			spec: &emptyDiff,
+			pf:   pfFresh,
+		}
+		ws.dirty[pg] = dp
+		ws.seg.allocPages(2)
+		populated++
+	}
+	return populated
 }
 
 // Discard drops all uncommitted local modifications.

@@ -171,6 +171,7 @@ func phaseTotals(lanes []Lane, r *Report) {
 		tr.FaultNS = sums[obs.PhaseFault]
 		tr.LibNS = sums[obs.PhaseLib]
 		tr.SpecDiffNS = sums[obs.PhaseSpecDiff]
+		tr.PrefetchNS = sums[obs.PhasePrefetch]
 		if live := tr.EndNS - tr.StartNS; live > 0 {
 			tr.UtilizationPct = pct(tr.ComputeNS, live)
 		}

@@ -215,7 +215,7 @@ func TestReportInvariants(t *testing.T) {
 			{"token-wait", total("token-wait"), st.DetermWaitNS},
 			{"barrier-wait", total("barrier-wait"), st.BarrierWaitNS},
 			{"commit+merge", total("commit") + total("merge") + total("spec-diff"), st.CommitNS},
-			{"fault", total("fault"), st.FaultNS},
+			{"fault", total("fault") + total("prefetch"), st.FaultNS},
 			{"lib", total("lib"), st.LibNS},
 		} {
 			if c.rep != c.stat {

@@ -59,6 +59,7 @@ type ThreadReport struct {
 	FaultNS        int64   `json:"fault_ns"`
 	LibNS          int64   `json:"lib_ns"`
 	SpecDiffNS     int64   `json:"spec_diff_ns"`
+	PrefetchNS     int64   `json:"prefetch_ns"`
 	UtilizationPct float64 `json:"utilization_pct"`
 	CritPathNS     int64   `json:"critical_path_ns"`
 }

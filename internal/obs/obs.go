@@ -51,7 +51,8 @@ import (
 type Phase uint8
 
 // Time-category phases (span events). These refine the api.RunStats
-// breakdown: Commit, Merge and SpecDiff together are RunStats.CommitNS.
+// breakdown: Commit, Merge and SpecDiff together are RunStats.CommitNS;
+// Fault and Prefetch together are RunStats.FaultNS.
 const (
 	// PhaseCompute is thread-local work: Compute instructions, memory
 	// operations, and benchmark logic between runtime entry points.
@@ -80,6 +81,13 @@ const (
 	// threads' token-held work. Folds into RunStats.CommitNS together with
 	// Commit and Merge.
 	PhaseSpecDiff
+	// PhasePrefetch is predicted page pre-population
+	// (mem.Workspace.Prepopulate): copy-on-write copies taken during a
+	// token wait for the pages the write-set predictor expects the next
+	// chunk to touch, so the chunk's faults are serviced off the serial
+	// path. The fault-servicing analogue of PhaseSpecDiff; folds into
+	// RunStats.FaultNS together with Fault.
+	PhasePrefetch
 
 	// NumTimePhases is the number of span (time-category) phases.
 	NumTimePhases
@@ -120,6 +128,7 @@ var phaseNames = map[Phase]string{
 	PhaseFault:       "fault",
 	PhaseLib:         "lib",
 	PhaseSpecDiff:    "spec-diff",
+	PhasePrefetch:    "prefetch",
 	MarkCoarsenBegin: "coarsen-begin",
 	MarkCoarsenEnd:   "coarsen-end",
 	MarkCommit:       "commit-mark",

@@ -1,0 +1,132 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrainPredictRoundTrip(t *testing.T) {
+	tb := New()
+	tb.Train(7, []int{5, 1, 3, 1, 5, 2})
+	got := tb.Predict(7, nil)
+	want := []int{1, 2, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Predict = %v, want sorted dedup %v", got, want)
+	}
+	// Predict appends to dst.
+	got = tb.Predict(7, []int{99})
+	if !reflect.DeepEqual(got, []int{99, 1, 2, 3, 5}) {
+		t.Fatalf("Predict did not append to dst: %v", got)
+	}
+}
+
+func TestUntrainedSitePredictsNothing(t *testing.T) {
+	tb := New()
+	if got := tb.Predict(42, nil); len(got) != 0 {
+		t.Fatalf("untrained site predicted %v", got)
+	}
+	// An empty observation is still an observation: it predicts the empty
+	// set, not "unknown".
+	tb.Train(42, nil)
+	if got := tb.Predict(42, nil); len(got) != 0 {
+		t.Fatalf("empty-trained site predicted %v", got)
+	}
+	if trains, _, _ := tb.Stats(); trains != 1 {
+		t.Fatalf("trains = %d, want 1", trains)
+	}
+}
+
+func TestLastValueReplacesHistory(t *testing.T) {
+	tb := New()
+	tb.Train(9, []int{1, 2, 3})
+	tb.Train(9, []int{3, 4})
+	got := tb.Predict(9, nil)
+	if !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Fatalf("retrain did not replace: %v", got)
+	}
+}
+
+func TestSiteZeroIgnored(t *testing.T) {
+	tb := New()
+	tb.Train(0, []int{1, 2})
+	if tb.Len() != 0 {
+		t.Fatal("siteID 0 was retained")
+	}
+	if got := tb.Predict(0, nil); len(got) != 0 {
+		t.Fatalf("siteID 0 predicted %v", got)
+	}
+}
+
+func TestPageCapTruncates(t *testing.T) {
+	tb := NewSized(0, 3)
+	tb.Train(1, []int{9, 7, 5, 3, 1})
+	got := tb.Predict(1, nil)
+	if !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("pageCap truncation = %v, want lowest three", got)
+	}
+}
+
+func TestTrainDoesNotRetainCallerSlice(t *testing.T) {
+	tb := New()
+	buf := []int{4, 2}
+	tb.Train(1, buf)
+	buf[0], buf[1] = 100, 200 // caller reuses its buffer
+	if got := tb.Predict(1, nil); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("table aliased the caller's slice: %v", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	tb := NewSized(2, 0)
+	tb.Train(1, []int{10})
+	tb.Train(2, []int{20})
+	tb.Predict(1, nil) // touch site 1: site 2 is now least recent
+	tb.Train(3, []int{30})
+	if got := tb.Predict(2, nil); len(got) != 0 {
+		t.Fatalf("LRU victim survived: site 2 predicted %v", got)
+	}
+	if got := tb.Predict(1, nil); !reflect.DeepEqual(got, []int{10}) {
+		t.Fatalf("recently touched site evicted: %v", got)
+	}
+	if got := tb.Predict(3, nil); !reflect.DeepEqual(got, []int{30}) {
+		t.Fatalf("newest site missing: %v", got)
+	}
+	if _, _, ev := tb.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+// TestEvictionReplayStable pins the determinism-by-construction claim: the
+// same train/predict sequence replayed on fresh tables must retain the
+// same sites with the same contents every time, no matter how Go's map
+// iteration order varies between the replays. Unique LRU stamps make the
+// eviction victim unique, so nothing map-order-dependent can leak.
+func TestEvictionReplayStable(t *testing.T) {
+	replay := func() map[uint64][]int {
+		tb := NewSized(8, 0)
+		// A deterministic pseudo-random-ish mix of trains and predicts over
+		// 64 sites — far past the cap, forcing constant eviction.
+		for i := 0; i < 1000; i++ {
+			siteA := uint64(i%64 + 1)
+			siteB := uint64((i*37)%64 + 1)
+			tb.Train(siteA, []int{i % 7, i % 11, i % 13})
+			tb.Predict(siteB, nil)
+		}
+		out := map[uint64][]int{}
+		for id := uint64(1); id <= 64; id++ {
+			if p := tb.Predict(id, nil); p != nil {
+				out[id] = p
+			}
+		}
+		if tb.Len() > 8 {
+			t.Fatalf("siteCap exceeded: %d sites", tb.Len())
+		}
+		return out
+	}
+	base := replay()
+	for i := 0; i < 10; i++ {
+		if got := replay(); !reflect.DeepEqual(got, base) {
+			t.Fatalf("replay %d diverged:\n got %v\nwant %v", i, got, base)
+		}
+	}
+}

@@ -42,21 +42,26 @@ canneal:52afe913b556d5da:054928fab9f631f8
 histogram:09e07ed580954ecc:caafd5842fd5020b
 kmeans:1f8b09e15b1b689c:cd6c25c0a0405d2b
 "
+# Each benchmark runs twice — write-set prediction on (the default) and
+# off — and both must hit the same goldens: prediction is an overlap
+# optimization and must never move program results.
 for spec in $goldens; do
     bench=${spec%%:*}
     rest=${spec#*:}
     want_sum=${rest%%:*}
     want_trace=${rest#*:}
-    out=$(go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42)
-    got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
-    got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
-    if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
-        echo "determinism gate: $bench diverged:" >&2
-        echo "  checksum $got_sum (want $want_sum)" >&2
-        echo "  trace    $got_trace (want $want_trace)" >&2
-        exit 1
-    fi
-    echo "   $bench ok"
+    for predict in true false; do
+        out=$(go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42 -predict="$predict")
+        got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+        got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+        if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+            echo "determinism gate: $bench (predict=$predict) diverged:" >&2
+            echo "  checksum $got_sum (want $want_sum)" >&2
+            echo "  trace    $got_trace (want $want_trace)" >&2
+            exit 1
+        fi
+    done
+    echo "   $bench ok (predict on+off)"
 done
 
 echo "check: OK"
