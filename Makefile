@@ -1,9 +1,14 @@
 # `make check` is the pre-PR gate (see README): gofmt, vet, build, test.
 
-.PHONY: check build test fmt figures
+.PHONY: check build test fmt figures chaos
 
 check:
 	./scripts/check.sh
+
+# Longer fault-injection sweep: every chaos profile x 5 seeds over the
+# golden benchmarks, asserting results never move (see docs/robustness.md).
+chaos:
+	./scripts/chaos_sweep.sh
 
 build:
 	go build ./...

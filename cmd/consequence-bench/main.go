@@ -41,6 +41,7 @@ func main() {
 	traceBench := flag.String("trace-bench", "ferret", "benchmark for the observed cell")
 	traceRuntime := flag.String("trace-runtime", string(harness.KindConsequenceIC), "runtime for the observed cell (consequence-ic | consequence-rr)")
 	listen := flag.String("listen", "", "serve the observed cell's live /metrics (Prometheus text format) and /debug/pprof on this address while the cell runs (e.g. :9090)")
+	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on the observed cell: profile[:seed] (see internal/chaos); the cell's checksum must be unchanged")
 	flag.Parse()
 
 	var ths []int
@@ -88,7 +89,9 @@ func main() {
 		fmt.Println(text)
 	}
 
-	if *traceOut != "" || *listen != "" {
+	// A non-empty -chaos runs the observed cell even without a trace or
+	// listener: the printed checksum is the determinism evidence.
+	if *traceOut != "" || *listen != "" || *chaosSpec != "" {
 		o := obs.New()
 		if *listen != "" {
 			srv, err := o.ListenAndServe(*listen)
@@ -105,6 +108,7 @@ func main() {
 			Scale:    *scale,
 			Seed:     *seed,
 			Observer: o,
+			Chaos:    *chaosSpec,
 		})
 		if err != nil {
 			fatal(err)

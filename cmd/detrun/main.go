@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/api"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/baseline/dwc"
 	"repro/internal/baseline/pth"
 	"repro/internal/baseline/rfdet"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/costmodel"
 	"repro/internal/det"
@@ -49,6 +51,15 @@ import (
 // assert exactly that, and so timings can be compared on/off.
 var predictFlag = flag.Bool("predict", true, "enable write-set prediction (page prefetch during token wait) on the consequence runtimes")
 
+// chaosFlag arms seeded fault injection on the consequence runtimes. A
+// package-level flag so mkRuntime sees it from the direct, -verify and
+// -compare paths alike; each mkRuntime call builds a fresh injector from
+// the spec, so every run of a (profile, seed) pair replays identically.
+// Results are identical with chaos on or off (perturbations are confined
+// to modeled time and advisory predictions); the chaos determinism gate
+// in scripts/check.sh asserts exactly that.
+var chaosFlag = flag.String("chaos", "", "arm seeded fault injection on the consequence runtimes: profile[:seed], e.g. storm:7 (profiles: "+strings.Join(chaos.Profiles(), ", ")+")")
+
 func main() {
 	bench := flag.String("bench", "histogram", "benchmark name (see -list)")
 	rtName := flag.String("runtime", "consequence-ic", "consequence-ic | consequence-rr | dthreads | dwc | pthreads | rfdet-lrc")
@@ -64,12 +75,25 @@ func main() {
 	listen := flag.String("listen", "", "serve live /metrics (Prometheus text format) and /debug/pprof on this address during the run (e.g. :9090)")
 	sample := flag.Duration("sample", 0, "snapshot the metrics registry at this interval and print per-interval deltas after the run (e.g. 100ms)")
 	dumpTrace := flag.Int("dump-sync", 0, "dump the first N sync-order events")
+	watchdog := flag.Duration("watchdog", 0, "real-host stall watchdog: if any thread stays blocked longer than this, dump per-thread diagnostics and exit non-zero (requires -real)")
+	timeout := flag.Duration("timeout", 0, "bound the run's host wall clock: on expiry dump goroutine stacks and runtime state and exit non-zero (e.g. 30s)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	listChaos := flag.Bool("list-chaos", false, "list built-in chaos profiles and exit")
 	flag.Parse()
+
+	if *timeout > 0 {
+		defer armTimeout(*timeout).Stop()
+	}
 
 	if *list {
 		for _, s := range workload.All() {
 			fmt.Printf("%-18s %-8s %s\n", s.Name, s.Suite, s.Class)
+		}
+		return
+	}
+	if *listChaos {
+		for _, name := range chaos.Profiles() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -90,6 +114,13 @@ func main() {
 	}
 
 	h := mkHost(*useReal, 0)
+	if *watchdog > 0 {
+		rh, ok := h.(*realhost.Host)
+		if !ok {
+			fatal(fmt.Errorf("-watchdog requires -real (the simulation host proves deadlocks itself)"))
+		}
+		rh.SetWatchdog(*watchdog, onStall)
+	}
 	rt, err := mkRuntime(*rtName, spec.SegmentSize(p), h)
 	if err != nil {
 		fatal(err)
@@ -121,6 +152,9 @@ func main() {
 	st := rt.Stats()
 	fmt.Printf("benchmark   %s (%s, %s)\n", spec.Name, spec.Suite, spec.Class)
 	fmt.Printf("runtime     %s, %d threads, scale %d, seed %d\n", rt.Name(), *threads, *scale, *seed)
+	if in, err := chaos.Parse(*chaosFlag); err == nil && in != nil {
+		fmt.Printf("chaos       %s\n", in)
+	}
 	fmt.Printf("checksum    %016x\n", rt.Checksum())
 	if tr := traceOf(rt); tr != nil {
 		fmt.Printf("trace       %d events, hash %016x\n", tr.Len(), tr.Hash())
@@ -305,6 +339,9 @@ func mkHost(real bool, perturb time.Duration) host.Host {
 
 func mkRuntime(name string, segSize int, h host.Host) (api.Runtime, error) {
 	m := costmodel.Default()
+	if *chaosFlag != "" && name != "consequence-ic" && name != "consequence-rr" {
+		return nil, fmt.Errorf("-chaos requires a consequence runtime (got %q)", name)
+	}
 	switch name {
 	case "consequence-ic", "consequence-rr":
 		c := det.Default()
@@ -314,7 +351,19 @@ func mkRuntime(name string, segSize int, h host.Host) (api.Runtime, error) {
 		c.WriteSetPrediction = *predictFlag
 		c.SegmentSize = segSize
 		c.Model = m
-		return det.New(c, h)
+		// A fresh injector per runtime: streams carry per-thread sequence
+		// state, so sharing one across runs would decorrelate replays.
+		in, err := chaos.Parse(*chaosFlag)
+		if err != nil {
+			return nil, err
+		}
+		c.Chaos = in
+		rt, err := det.New(c, h)
+		if err != nil {
+			return nil, err
+		}
+		lastRuntime.Store(rt)
+		return rt, nil
 	case "dthreads":
 		return dthreads.New(dthreads.Config{SegmentSize: segSize, Model: m}, h)
 	case "dwc":

@@ -27,6 +27,7 @@ package clock
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -445,6 +446,22 @@ type Stats struct {
 	Departs         int64
 	FastForwards    int64
 	FastForwardSkip int64 // total instructions skipped by fast-forwards
+}
+
+// DumpState renders the arbiter's thread table — holder, and each
+// registered thread's clock, eligibility and wanting flags — for failure
+// diagnostics (watchdog stall dumps, RuntimeError context). Safe to call
+// from any goroutine at any time.
+func (a *Arbiter) DumpState() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "arbiter: policy=%s holder=%d grants=%d departs=%d\n", a.policy, a.holder, a.grants, a.departs)
+	for _, tid := range a.order {
+		st := a.threads[tid]
+		fmt.Fprintf(&b, "  t%-4d clock=%-12d eligible=%-5v wanting=%v\n", tid, st.count, st.eligible, st.wanting)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Stats returns a snapshot of arbitration counters.

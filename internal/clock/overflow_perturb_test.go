@@ -1,0 +1,29 @@
+package clock
+
+import "testing"
+
+// The overflow perturb hook may shrink intervals but the result is clamped
+// to >= 1: a non-positive interval would stall instruction retirement.
+func TestOverflowPerturbClamped(t *testing.T) {
+	o := NewOverflow(100, false)
+	a := New(PolicyIC, false)
+
+	o.SetPerturb(func(iv int64) int64 { return iv / 2 })
+	if got := o.Next(0, 0, a); got != 50 {
+		t.Fatalf("Next = %d, want 50 (perturb halves)", got)
+	}
+
+	o.SetPerturb(func(iv int64) int64 { return 0 })
+	if got := o.Next(0, 0, a); got != 1 {
+		t.Fatalf("Next = %d, want clamp to 1 for zero perturb", got)
+	}
+	o.SetPerturb(func(iv int64) int64 { return -500 })
+	if got := o.Next(0, 0, a); got != 1 {
+		t.Fatalf("Next = %d, want clamp to 1 for negative perturb", got)
+	}
+
+	o.SetPerturb(nil)
+	if got := o.Next(0, 0, a); got != 100 {
+		t.Fatalf("Next = %d, want 100 after removing the perturb", got)
+	}
+}

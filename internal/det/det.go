@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/costmodel"
 	"repro/internal/host"
@@ -142,6 +143,16 @@ type Config struct {
 	TraceKeep int
 	// Model is the simulation cost model (ignored on untimed hosts).
 	Model costmodel.Model
+
+	// Chaos, when non-nil, arms seeded fault injection: New wraps the host
+	// so every Charge is jittered and every wake delayed per the profile,
+	// and each thread draws its overflow-shrink, misprediction, barrier-
+	// skew, fault- and commit-delay streams from the injector. Injectors
+	// are single-use — create a fresh one per runtime so replays line up.
+	// Perturbations are confined to modeled time and advisory predictions,
+	// so results (checksums, sync traces) are identical with chaos on or
+	// off; scripts/check.sh gates on exactly that.
+	Chaos *chaos.Injector
 }
 
 // Default returns the full Consequence-IC configuration, all optimizations
@@ -213,6 +224,12 @@ type Runtime struct {
 	threads map[int]*Thread
 	pool    []*mem.Workspace
 
+	// diagMu guards heldLocks: per-tid held mutex ids for failure
+	// diagnostics (RuntimeError, DumpState). Ownership changes are
+	// token-serialized, but diagnostic readers run on other goroutines.
+	diagMu    sync.Mutex
+	heldLocks map[int]map[uint64]bool
+
 	// token-serialized state (mutated only while holding the token)
 	nextTid      int
 	lastCoordTid int
@@ -252,7 +269,7 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 	}
 	rt := &Runtime{
 		cfg:          cfg,
-		h:            h,
+		h:            chaos.WrapHost(h, cfg.Chaos),
 		timed:        h.Timed(),
 		arb:          clock.New(cfg.Policy, cfg.FastForward),
 		seg:          seg,
@@ -325,6 +342,23 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 			return f(rt.agg.RunStats)
 		}
 	}
+	if in := rt.cfg.Chaos; in != nil {
+		chFunc := func(f func(chaos.Stats) int64) func() int64 {
+			return func() int64 { return f(in.Stats()) }
+		}
+		r.Func("chaos_charge_jitter_events", chFunc(func(s chaos.Stats) int64 { return s.ChargeJitterEvents }))
+		r.Func("chaos_charge_jitter_ns", chFunc(func(s chaos.Stats) int64 { return s.ChargeJitterNS }))
+		r.Func("chaos_wake_delays", chFunc(func(s chaos.Stats) int64 { return s.WakeDelays }))
+		r.Func("chaos_wake_delay_ns", chFunc(func(s chaos.Stats) int64 { return s.WakeDelayNS }))
+		r.Func("chaos_overflow_shrinks", chFunc(func(s chaos.Stats) int64 { return s.OverflowShrinks }))
+		r.Func("chaos_mispredict_drops", chFunc(func(s chaos.Stats) int64 { return s.MispredictDrops }))
+		r.Func("chaos_barrier_skews", chFunc(func(s chaos.Stats) int64 { return s.BarrierSkews }))
+		r.Func("chaos_barrier_skew_ns", chFunc(func(s chaos.Stats) int64 { return s.BarrierSkewNS }))
+		r.Func("chaos_fault_delays", chFunc(func(s chaos.Stats) int64 { return s.FaultDelays }))
+		r.Func("chaos_fault_delay_ns", chFunc(func(s chaos.Stats) int64 { return s.FaultDelayNS }))
+		r.Func("chaos_commit_delays", chFunc(func(s chaos.Stats) int64 { return s.CommitDelays }))
+		r.Func("chaos_commit_delay_ns", chFunc(func(s chaos.Stats) int64 { return s.CommitDelayNS }))
+	}
 	r.Func("det_threads_spawned", aggFunc(func(s api.RunStats) int64 { return s.ThreadsSpawned }))
 	r.Func("det_threads_reused", aggFunc(func(s api.RunStats) int64 { return s.ThreadsReused }))
 	r.Func("det_local_work_ns", aggFunc(func(s api.RunStats) int64 { return s.LocalWorkNS }))
@@ -390,6 +424,15 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
 	}
 	t.coarse.maxChunk = rt.cfg.MaxChunkInit
+	if in := rt.cfg.Chaos; in != nil {
+		// Per-thread perturbation streams, keyed (seed, subsystem, tid):
+		// each subsystem draws independently, so one consuming more draws
+		// never shifts another's sequence. Re-arming a pooled workspace's
+		// fault perturb on reuse retargets it to the new tid's stream.
+		t.chaosT = in.ThreadStream(tid)
+		t.overflow.SetPerturb(in.OverflowStream(tid).OverflowInterval)
+		ws.SetFaultPerturb(in.FaultStream(tid).FaultDelay)
+	}
 	if rt.cfg.WriteSetPrediction {
 		// One history table per thread, like the unlock estimators: tables
 		// are consulted only from the owning thread and trained only on its
@@ -398,6 +441,11 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		// re-arming is idempotent.
 		t.pred = predict.New()
 		ws.SetPredict(true)
+		if in := rt.cfg.Chaos; in != nil {
+			// Forced mispredictions: drop predicted pages per the profile.
+			// Safe because prediction is advisory by contract.
+			t.pred.SetPerturb(in.PredictStream(tid).FilterPrediction)
+		}
 	}
 	if o := rt.obs; o != nil {
 		// Per-thread instruments, cached so the hot paths pay one nil
@@ -430,22 +478,46 @@ func (rt *Runtime) lookup(tid int) *Thread {
 	defer rt.mu.Unlock()
 	th, ok := rt.threads[tid]
 	if !ok {
-		panic(fmt.Sprintf("det: grant for unknown tid %d", tid))
+		panic(&RuntimeError{
+			Code: "unknown-tid", Tid: -1, Op: "lookup",
+			Detail: fmt.Sprintf("token grant for unknown tid %d", tid),
+		})
 	}
 	return th
 }
 
 // deliverFrom wakes the thread granted the token by an arbiter operation.
 // waker is the binding performing the wake (nil only during setup, when no
-// grant can occur).
+// grant can occur). A host-level double-wake panic — a wake sent to a
+// thread that already holds its wake permit, i.e. a corrupted handoff — is
+// rewrapped as a structured RuntimeError naming the target's state.
 func (rt *Runtime) deliverFrom(waker host.Binding, grant int) {
 	if grant == clock.NoGrant {
 		return
 	}
 	target := rt.lookup(grant)
 	if waker == nil {
-		panic("det: token grant before any thread is running")
+		panic(&RuntimeError{
+			Code: "self-grant", Tid: -1, Op: "deliver",
+			Detail: "token grant before any thread is running",
+		})
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*RuntimeError); ok {
+				panic(r)
+			}
+			panic(&RuntimeError{
+				Code:      "double-wake",
+				Tid:       target.tid,
+				Clock:     target.diagClock.Load(),
+				Phase:     diagNames[target.diagPhase.Load()],
+				Op:        "wake",
+				HeldLocks: rt.heldLocksOf(target.tid),
+				Detail:    fmt.Sprintf("waking tid %d which already holds a wake permit: %v", target.tid, r),
+			})
+		}
+	}()
 	waker.Wake(target.b)
 }
 

@@ -1,6 +1,7 @@
 package det_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -24,7 +25,9 @@ func mustPanicContaining(t *testing.T, substr string, f func()) {
 		if r == nil {
 			t.Fatalf("expected panic containing %q", substr)
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+		// Panic values are strings or structured *det.RuntimeError values;
+		// either way the rendering must name the condition.
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
 			t.Fatalf("panic %v does not contain %q", r, substr)
 		}
 	}()

@@ -1,7 +1,7 @@
 package det
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/api"
 	"repro/internal/obs"
@@ -66,7 +66,8 @@ func (t *Thread) NewCond() api.Cond { return &dCond{id: t.newObjID()} }
 // NewBarrier implements api.T.
 func (t *Thread) NewBarrier(parties int) api.Barrier {
 	if parties < 1 {
-		panic("det: barrier needs at least one party")
+		panic(t.runtimeError("zero-party-barrier", "barrier-init", 0,
+			"barrier needs at least one party (got %d)", parties))
 	}
 	return &dBarrier{id: t.newObjID(), parties: parties}
 }
@@ -79,6 +80,7 @@ func (t *Thread) Lock(mx api.Mutex) {
 		t.tokenBegin()
 		if !m.locked {
 			m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
+			t.rt.noteLockHeld(t.tid, m.id, true)
 			t.record(trace.OpLock, m.id)
 			t.noteLockAcquire(m.id)
 			if h := t.rt.hooks; h != nil {
@@ -110,7 +112,7 @@ func (t *Thread) Lock(mx api.Mutex) {
 		t.uncoarsen()
 		t.deliver(t.rt.arb.Depart(t.tid))
 		t.releaseTokenRaw()
-		t.blockForToken()
+		t.blockForToken(diagMutexWait, "mutex "+strconv.FormatUint(m.id, 10))
 	}
 	t.tokenEnd(coarsenLock, m.csEWMA.estimate())
 }
@@ -129,10 +131,12 @@ func (t *Thread) Unlock(mx api.Mutex) {
 // unlockLocked releases m (token held) and re-arms the next waiter.
 func (t *Thread) unlockLocked(m *dMutex, op trace.Op) {
 	if !m.locked || m.owner != t.tid {
-		panic(fmt.Sprintf("det: tid %d unlocking mutex %d it does not hold (owner %d)", t.tid, m.id, m.owner))
+		panic(t.runtimeError("unlock-unheld", "unlock", m.id,
+			"tid %d unlocking mutex %d it does not hold (owner %d)", t.tid, m.id, m.owner))
 	}
 	m.csEWMA.update(float64(t.icount - m.acquiredAt))
 	m.locked, m.owner = false, -1
+	t.rt.noteLockHeld(t.tid, m.id, false)
 	t.record(op, m.id)
 	if h := t.rt.hooks; h != nil {
 		h.OnRelease(t.tid, m.id)
@@ -161,7 +165,7 @@ func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 	c.waiters = append(c.waiters, t.tid)
 	t.deliver(t.rt.arb.Depart(t.tid))
 	t.releaseTokenRaw()
-	t.blockForToken()
+	t.blockForToken(diagCondWait, "cond "+strconv.FormatUint(c.id, 10))
 	if h := t.rt.hooks; h != nil {
 		h.OnAcquire(t.tid, c.id)
 	}
@@ -171,9 +175,10 @@ func (t *Thread) Wait(cx api.Cond, mx api.Mutex) {
 		m.waiters = append(m.waiters, t.tid)
 		t.deliver(t.rt.arb.Depart(t.tid))
 		t.releaseTokenRaw()
-		t.blockForToken()
+		t.blockForToken(diagMutexWait, "mutex "+strconv.FormatUint(m.id, 10))
 	}
 	m.locked, m.owner, m.acquiredAt = true, t.tid, t.icount
+	t.rt.noteLockHeld(t.tid, m.id, true)
 	t.record(trace.OpLock, m.id)
 	t.noteLockAcquire(m.id)
 	if h := t.rt.hooks; h != nil {
@@ -225,6 +230,11 @@ func (t *Thread) Broadcast(cx api.Cond) {
 func (t *Thread) BarrierWait(bx api.Barrier) {
 	bar := bx.(*dBarrier)
 	t.syncOpStart(siteID(siteBarrier, bar.id))
+	// Chaos arrival skew: stretch this arrival's pre-rendezvous time,
+	// randomizing when (never in what logical order) arrivals land.
+	if d := t.chaosT.BarrierSkew(); d > 0 {
+		t.charge(obs.PhaseCompute, d)
+	}
 	if !t.holding {
 		t.acquireToken()
 		t.mimdAdapt()
@@ -307,7 +317,7 @@ func (t *Thread) barrierSleep(bar *dBarrier) {
 	// byte-identical to committed state until written.
 	t.prefetchNext()
 	t.account(obs.PhaseCommit)
-	t.b.Block()
+	t.park(diagBarrierWait, "barrier "+strconv.FormatUint(bar.id, 10)+" rendezvous")
 	t.account(obs.PhaseBarrierWait)
 	t.resyncClock()
 	pulled := t.ws.UpdateTo(t.barrierTarget)

@@ -1,9 +1,10 @@
 package det
 
 import (
-	"fmt"
+	"sync/atomic"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/host"
 	"repro/internal/mem"
@@ -91,6 +92,18 @@ type Thread struct {
 	hChunk        *obs.Histogram
 	mLockAcq      map[uint64]*obs.Counter
 
+	// chaosT is the thread's chaos stream for barrier skew and commit
+	// delays (nil when chaos is disabled; Stream methods are nil-safe).
+	chaosT *chaos.Stream
+
+	// diagPhase/diagClock mirror the thread's state for failure
+	// diagnostics (RuntimeError, Runtime.DumpState). Atomic because the
+	// real host's watchdog renders them from another goroutine; written
+	// only at sync-op and park boundaries, so a live thread's mirror may
+	// trail its true clock — fine for a diagnostic dump.
+	diagPhase atomic.Int32
+	diagClock atomic.Int64
+
 	// exit/join state, token-serialized
 	done    bool
 	joiners []int
@@ -152,7 +165,8 @@ func (t *Thread) deliver(grant int) {
 		return
 	}
 	if grant == t.tid {
-		panic(fmt.Sprintf("det: tid %d delivered a grant to itself", t.tid))
+		panic(t.runtimeError("self-grant", "deliver", 0,
+			"tid %d delivered a token grant to itself", t.tid))
 	}
 	t.rt.deliverFrom(t.b, grant)
 }
@@ -271,7 +285,10 @@ func (t *Thread) Write(data []byte, off int) {
 	t.ws.Write(data, off)
 	if f := t.ws.TakeFaults(); f > 0 {
 		t.account(obs.PhaseCompute)
-		t.charge(obs.PhaseFault, f*t.rt.cfg.Model.PageFault)
+		// Chaos fault delays accumulate per serviced fault in the
+		// workspace; charging them with the modeled fault cost keeps the
+		// perturbation pure time.
+		t.charge(obs.PhaseFault, f*t.rt.cfg.Model.PageFault+t.ws.TakeChaosFaultNS())
 	}
 	t.advance(memInstr(len(data)))
 	t.maybeForceCommit()
@@ -329,7 +346,8 @@ func (t *Thread) prefetchNext() {
 	if len(t.predScratch) > 0 {
 		t.account(obs.PhaseCompute)
 		if n := t.ws.Prepopulate(t.predScratch); n > 0 {
-			t.charge(obs.PhasePrefetch, int64(n)*t.rt.cfg.Model.PrepopulatePage)
+			t.charge(obs.PhasePrefetch,
+				int64(n)*t.rt.cfg.Model.PrepopulatePage+t.ws.TakeChaosFaultNS())
 		}
 	}
 }
@@ -378,10 +396,11 @@ func (t *Thread) serialCommitCost(st mem.CommitStats) int64 {
 		int64(st.PulledPages)*m.UpdatePage
 }
 
-// chargeCommitSerial charges the commit's serial-phase cost and feeds the
-// live mem_commit_serial_ns metric.
+// chargeCommitSerial charges the commit's serial-phase cost — plus the
+// chaos profile's injected commit slowdown — and feeds the live
+// mem_commit_serial_ns metric.
 func (t *Thread) chargeCommitSerial(st mem.CommitStats) {
-	ns := t.serialCommitCost(st)
+	ns := t.serialCommitCost(st) + t.chaosT.CommitDelay()
 	t.charge(obs.PhaseCommit, ns)
 	t.rt.commitSerialNS.Add(ns)
 }
@@ -400,7 +419,7 @@ func (t *Thread) acquireToken() {
 	t.charge(obs.PhaseLib, m.SyscallClockRead)
 	if g := t.rt.arb.Request(t.tid); g != t.tid {
 		t.deliver(g)
-		t.b.Block()
+		t.park(diagTokenWait, "global token")
 		t.resyncClock()
 	}
 	t.holding = true
@@ -424,16 +443,18 @@ func (t *Thread) releaseTokenRaw() {
 // must already have been published (we only block after a release).
 func (t *Thread) resyncClock() {
 	if t.pending != 0 {
-		panic("det: unpublished clock progress across a block")
+		panic(t.runtimeError("unpublished-progress", "resync", 0,
+			"%d instruction(s) of unpublished clock progress across a block", t.pending))
 	}
 	t.icount = t.rt.arb.Count(t.tid)
 }
 
-// blockForToken parks until a grant wakes us holding the token. The caller
-// must already have departed and released.
-func (t *Thread) blockForToken() {
+// blockForToken parks until a grant wakes us holding the token; phase and
+// reason describe the wait for failure diagnostics. The caller must
+// already have departed and released.
+func (t *Thread) blockForToken(phase int32, reason string) {
 	t.speculate() // overlap the sleep with pre-diffing, like acquireToken
-	t.b.Block()
+	t.park(phase, reason)
 	t.resyncClock()
 	t.holding = true
 	t.account(obs.PhaseTokenWait)
@@ -510,7 +531,8 @@ func (t *Thread) uncoarsen() {
 // phases; api.RunStats folds both into CommitNS.
 func (t *Thread) commitAndUpdate() {
 	if !t.holding {
-		panic("det: commit without token")
+		panic(t.runtimeError("commit-without-token", "commit", 0,
+			"commit attempted without holding the global token"))
 	}
 	m := &t.rt.cfg.Model
 	// Commits that end a coarsened chunk never waited, so speculate never
@@ -588,6 +610,7 @@ func (t *Thread) syncOpStart(site uint64) {
 		t.chunkSite = site
 	}
 	t.lastSyncIcount = t.icount
+	t.diagClock.Store(t.icount)
 	t.syncOps++
 	if t.mSyncOps != nil {
 		t.mSyncOps.Inc()

@@ -100,7 +100,7 @@ func (t *Thread) Join(h api.Handle) {
 		child.joiners = append(child.joiners, t.tid)
 		t.deliver(t.rt.arb.Depart(t.tid))
 		t.releaseTokenRaw()
-		t.blockForToken()
+		t.blockForToken(diagJoinWait, fmt.Sprintf("join t%d", child.tid))
 		// Woken holding the token; loop re-checks done (guaranteed now).
 	}
 }
@@ -141,6 +141,7 @@ func (t *Thread) exit() {
 	rt.aggregate(t)
 	t.releaseTokenRaw()
 	t.deliver(rt.arb.Unregister(t.tid))
+	t.diagPhase.Store(diagDone)
 	rt.mu.Lock()
 	delete(rt.threads, t.tid)
 	rt.mu.Unlock()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/baseline/dwc"
 	"repro/internal/baseline/pth"
 	"repro/internal/baseline/rfdet"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/costmodel"
 	"repro/internal/det"
@@ -58,6 +59,11 @@ type Options struct {
 	// a phase timeline and metrics (Consequence runtimes only). Use a
 	// fresh Observer per cell; attaching never changes the cell's result.
 	Observer *obs.Observer
+	// Chaos, when non-empty, arms seeded fault injection for the cell: a
+	// "profile[:seed]" spec (see internal/chaos). Consequence runtimes
+	// only; a fresh injector is built per run, so identical options replay
+	// identically — and the cell's checksum is unchanged by construction.
+	Chaos string
 }
 
 // Result is one run's outcome.
@@ -82,6 +88,9 @@ func Run(o Options) (Result, error) {
 	segSize := spec.SegmentSize(p)
 	model := costmodel.Default()
 	h := simhost.New(model)
+	if o.Chaos != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
+		return Result{}, fmt.Errorf("harness: chaos injection requires a consequence runtime (got %s)", o.Runtime)
+	}
 
 	var rt api.Runtime
 	var tracker *lrc.Tracker
@@ -93,6 +102,13 @@ func Run(o Options) (Result, error) {
 		}
 		c.SegmentSize = segSize
 		c.Model = model
+		if o.Chaos != "" {
+			in, err := chaos.Parse(o.Chaos)
+			if err != nil {
+				return Result{}, err
+			}
+			c.Chaos = in
+		}
 		if o.Modify != nil {
 			o.Modify(&c)
 		}

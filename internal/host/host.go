@@ -20,6 +20,16 @@ type Host interface {
 	Timed() bool
 }
 
+// BlockReasoner is an optional Binding extension: hosts that implement it
+// record a human-readable description of what the thread is about to
+// block on, surfaced in failure diagnostics — the simulation host's
+// deadlock report and the real host's watchdog stall dump. Runtimes call
+// it (from the bound thread) immediately before Block; the reason is
+// purely diagnostic and never affects scheduling.
+type BlockReasoner interface {
+	SetBlockReason(reason string)
+}
+
 // Binding is a thread's handle to its host context. Block and Charge must
 // be called only by the bound thread itself; Wake may be called by any
 // thread.

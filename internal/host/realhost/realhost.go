@@ -4,11 +4,21 @@
 // comes entirely from the runtime's logical-clock ordering — which the
 // perturbation tests stress by injecting random delays around every
 // blocking point.
+//
+// Unlike the simulation host, the real host cannot prove a deadlock (a
+// wake may always still arrive), so by default a deadlocked program hangs
+// exactly as a real pthreads program would. SetWatchdog bounds that wait:
+// if any thread stays blocked longer than the timeout, the host invokes a
+// stall handler with a report of every blocked thread — its name, what it
+// declared it was blocking on (host.BlockReasoner), and for how long — so
+// callers can dump diagnostic state and fail instead of hanging forever.
 package realhost
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,22 +35,55 @@ type Host struct {
 	perturb time.Duration
 	rngMu   sync.Mutex
 	rng     *rand.Rand
+
+	// watchdog state. blocked tracks bindings currently inside Block,
+	// keyed to the wall time they entered; guarded by wdMu (a stalled
+	// thread reads it to build the report while others mutate it).
+	wdMu      sync.Mutex
+	wdTimeout time.Duration
+	onStall   func(report string)
+	stalled   bool
+	blocked   map[*binding]time.Time
 }
 
 // New creates a real host. perturb > 0 enables schedule perturbation with
 // the given maximum delay, seeded by seed.
 func New(perturb time.Duration, seed int64) *Host {
-	h := &Host{start: time.Now(), perturb: perturb}
+	h := &Host{
+		start:   time.Now(),
+		perturb: perturb,
+		blocked: make(map[*binding]time.Time),
+	}
 	if perturb > 0 {
 		h.rng = rand.New(rand.NewSource(seed))
 	}
 	return h
 }
 
+// SetWatchdog arms the stall watchdog: when any thread has been blocked
+// for longer than timeout, onStall is invoked exactly once with a report
+// listing every blocked thread, its declared block reason, and its wait
+// duration. The handler runs on the stalled thread's goroutine; it may
+// dump further state and terminate the process, or merely record — the
+// thread resumes waiting for its wake afterwards, so a late wake is
+// never lost. Must be called before Run.
+func (h *Host) SetWatchdog(timeout time.Duration, onStall func(report string)) {
+	if timeout <= 0 {
+		panic("realhost: watchdog timeout must be positive")
+	}
+	h.wdMu.Lock()
+	defer h.wdMu.Unlock()
+	h.wdTimeout = timeout
+	h.onStall = onStall
+}
+
 type binding struct {
 	h    *Host
 	name string
 	ch   chan struct{}
+	// reason is the declared block reason (host.BlockReasoner), written
+	// by the bound thread and read by the watchdog under wdMu.
+	reason string
 }
 
 // Go implements host.Host.
@@ -73,11 +116,78 @@ func (h *Host) maybePerturb() {
 	time.Sleep(d)
 }
 
+// noteBlocked registers b as blocked (or removes it) for the watchdog.
+func (h *Host) noteBlocked(b *binding, blocked bool) {
+	h.wdMu.Lock()
+	defer h.wdMu.Unlock()
+	if blocked {
+		h.blocked[b] = time.Now()
+	} else {
+		delete(h.blocked, b)
+	}
+}
+
+// stallReportLocked renders the blocked-thread table. Caller holds wdMu.
+func (h *Host) stallReportLocked(now time.Time) string {
+	var lines []string
+	for b, since := range h.blocked {
+		reason := b.reason
+		if reason == "" {
+			reason = "unknown"
+		}
+		lines = append(lines, fmt.Sprintf("  %-6s blocked %8s on %s",
+			b.name, now.Sub(since).Round(time.Millisecond), reason))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("realhost: watchdog: no progress for %s — %d thread(s) blocked:\n%s",
+		h.wdTimeout, len(lines), strings.Join(lines, "\n"))
+}
+
+// fireWatchdog runs the stall handler once, with the report snapshotted
+// under wdMu.
+func (h *Host) fireWatchdog() {
+	h.wdMu.Lock()
+	if h.stalled || h.onStall == nil {
+		h.wdMu.Unlock()
+		return
+	}
+	h.stalled = true
+	report := h.stallReportLocked(time.Now())
+	onStall := h.onStall
+	h.wdMu.Unlock()
+	onStall(report)
+}
+
 func (b *binding) Now() int64      { return time.Since(b.h.start).Nanoseconds() }
 func (b *binding) Charge(ns int64) {}
+
+// SetBlockReason implements host.BlockReasoner for the watchdog report.
+func (b *binding) SetBlockReason(reason string) {
+	b.h.wdMu.Lock()
+	b.reason = reason
+	b.h.wdMu.Unlock()
+}
+
 func (b *binding) Block() {
 	b.h.maybePerturb()
-	<-b.ch
+	b.h.wdMu.Lock()
+	timeout := b.h.wdTimeout
+	b.h.wdMu.Unlock()
+	if timeout <= 0 {
+		<-b.ch
+		return
+	}
+	b.h.noteBlocked(b, true)
+	defer b.h.noteBlocked(b, false)
+	select {
+	case <-b.ch:
+		return
+	case <-time.After(timeout):
+		b.h.fireWatchdog()
+		// The handler chose not to terminate the process: keep waiting, so
+		// a wake that was merely late (not lost) still lands correctly.
+		<-b.ch
+	}
 }
 
 func (b *binding) Wake(target host.Binding) {
@@ -89,3 +199,5 @@ func (b *binding) Wake(target host.Binding) {
 		panic(fmt.Sprintf("realhost: double wake of thread %q", t.name))
 	}
 }
+
+var _ host.BlockReasoner = (*binding)(nil)

@@ -57,6 +57,10 @@ func (h *Host) Timed() bool { return true }
 func (b *binding) Now() int64      { return b.proc.Now() }
 func (b *binding) Charge(ns int64) { b.proc.Advance(ns) }
 
+// SetBlockReason implements host.BlockReasoner: the reason appears next
+// to the proc's name in the engine's deadlock report.
+func (b *binding) SetBlockReason(reason string) { b.proc.SetBlockReason(reason) }
+
 func (b *binding) Block() {
 	if b.pendingWake >= 0 {
 		// The wake raced ahead of the block: consume the permit, elapsing

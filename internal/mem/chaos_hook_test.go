@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+// The fault-perturb hook must accumulate modeled delay per faulted page —
+// once per page, not per write — and TakeChaosFaultNS must drain it.
+func TestFaultPerturbAccumulatesAndDrains(t *testing.T) {
+	s := newTestSegment(t, 4*64, 64)
+	ws, _ := s.Snapshot(0)
+	var faultedPages []int
+	ws.SetFaultPerturb(func(page int) int64 {
+		faultedPages = append(faultedPages, page)
+		return 100
+	})
+
+	ws.Write([]byte{1}, 0)  // faults page 0
+	ws.Write([]byte{2}, 1)  // same page: no new fault
+	ws.Write([]byte{3}, 70) // faults page 1
+
+	if got := ws.TakeChaosFaultNS(); got != 200 {
+		t.Fatalf("TakeChaosFaultNS = %d, want 200 (two faults x 100)", got)
+	}
+	if got := ws.TakeChaosFaultNS(); got != 0 {
+		t.Fatalf("second take = %d, want 0 (drained)", got)
+	}
+	if len(faultedPages) != 2 || faultedPages[0] != 0 || faultedPages[1] != 1 {
+		t.Fatalf("perturb saw pages %v, want [0 1]", faultedPages)
+	}
+}
+
+// Prepopulate charges the same hook for each page it actually populates.
+func TestPrepopulateChargesPerturb(t *testing.T) {
+	s := newTestSegment(t, 4*64, 64)
+	ws, _ := s.Snapshot(0)
+	ws.SetFaultPerturb(func(page int) int64 { return 7 })
+
+	ws.Write([]byte{1}, 0) // page 0 already resident
+	ws.TakeChaosFaultNS()  // drain the write's fault charge
+	n := ws.Prepopulate([]int{0, 1, 2})
+	if n != 2 {
+		t.Fatalf("Prepopulate populated %d pages, want 2 (page 0 resident)", n)
+	}
+	if got := ws.TakeChaosFaultNS(); got != 14 {
+		t.Fatalf("TakeChaosFaultNS = %d, want 14 (two pages x 7)", got)
+	}
+}
+
+// A nil perturb (the default) must charge nothing.
+func TestNoPerturbNoCharge(t *testing.T) {
+	s := newTestSegment(t, 4*64, 64)
+	ws, _ := s.Snapshot(0)
+	ws.Write([]byte{1}, 0)
+	if got := ws.TakeChaosFaultNS(); got != 0 {
+		t.Fatalf("TakeChaosFaultNS = %d without a perturb installed", got)
+	}
+}

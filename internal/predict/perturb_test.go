@@ -1,0 +1,44 @@
+package predict
+
+import (
+	"slices"
+	"testing"
+)
+
+// The prediction perturb hook rewrites only the newly appended portion of
+// the result — an existing dst prefix must pass through untouched — and a
+// nil hook restores exact predictions.
+func TestPredictPerturbScope(t *testing.T) {
+	tb := New()
+	tb.Train(1, []int{10, 20, 30})
+
+	// Drop the middle page of whatever the table predicted.
+	tb.SetPerturb(func(pages []int) []int {
+		return append(pages[:1], pages[2:]...)
+	})
+	dst := []int{7, 8} // pre-existing prefix must survive unmodified
+	got := tb.Predict(1, dst)
+	want := []int{7, 8, 10, 30}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+
+	tb.SetPerturb(nil)
+	if got := tb.Predict(1, nil); !slices.Equal(got, []int{10, 20, 30}) {
+		t.Fatalf("Predict after removing perturb = %v, want full set", got)
+	}
+}
+
+// A site with no history predicts nothing; the perturb must not run at all
+// (it could otherwise invent pages from an empty prediction).
+func TestPredictPerturbNotRunOnEmpty(t *testing.T) {
+	tb := New()
+	ran := false
+	tb.SetPerturb(func(pages []int) []int { ran = true; return append(pages, 99) })
+	if got := tb.Predict(42, nil); len(got) != 0 {
+		t.Fatalf("untrained site predicted %v", got)
+	}
+	if ran {
+		t.Fatal("perturb ran for an untrained site")
+	}
+}

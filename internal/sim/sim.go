@@ -36,6 +36,9 @@ type Proc struct {
 	resume chan struct{}
 	// scheduled guards the ≤1-outstanding-event invariant.
 	scheduled bool
+	// reason describes what the proc is (about to be) parked on; set by
+	// the proc itself before Park and surfaced in the deadlock report.
+	reason string
 }
 
 type yieldKind int
@@ -131,7 +134,11 @@ func (e *Engine) Run() error {
 	if e.alive > 0 {
 		var names []string
 		for p := range e.parked {
-			names = append(names, p.name)
+			if p.reason != "" {
+				names = append(names, fmt.Sprintf("%s (%s)", p.name, p.reason))
+			} else {
+				names = append(names, p.name)
+			}
 		}
 		sort.Strings(names)
 		return fmt.Errorf("sim: deadlock — %d proc(s) parked forever: %v", e.alive, names)
@@ -144,6 +151,11 @@ func (p *Proc) Now() int64 { return p.now }
 
 // Name returns the proc's diagnostic name.
 func (p *Proc) Name() string { return p.name }
+
+// SetBlockReason records what the proc is about to park on. Must be
+// called from the proc's own body; the value appears next to the proc's
+// name in the engine's deadlock report and has no scheduling effect.
+func (p *Proc) SetBlockReason(reason string) { p.reason = reason }
 
 // Advance elapses d nanoseconds of virtual time for this proc, yielding to
 // any proc with an earlier event. d must be non-negative; zero is a no-op.
@@ -166,6 +178,7 @@ func (p *Proc) Park() {
 	p.eng.yieldc <- yield{p, yParked}
 	<-p.resume
 	delete(p.eng.parked, p)
+	p.reason = "" // a stale reason must not outlive the park it described
 }
 
 // UnparkAt schedules a parked proc to resume at virtual time `at` (or its

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Chaos sweep: every built-in chaos profile x seeds 1..5 over the golden
+# benchmarks, asserting that fault injection never moves program results.
+# The unperturbed baseline is computed live (not pinned), so the sweep
+# stays valid across intentional semantic changes; scripts/check.sh pins
+# the absolute goldens. Run via `make chaos`; exits non-zero on the first
+# divergence. Takes a few minutes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benches="water_nsquared canneal histogram kmeans"
+seeds="1 2 3 4 5"
+
+detrun_bin=$(mktemp -t detrun.XXXXXX)
+trap 'rm -f "$detrun_bin"' EXIT
+go build -o "$detrun_bin" ./cmd/detrun
+
+# All built-in profiles, from the chaos registry itself so the sweep can
+# never silently skip a newly added profile.
+profiles=$("$detrun_bin" -list-chaos)
+
+total=0
+for bench in $benches; do
+    out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42)
+    base_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+    base_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    for profile in $profiles; do
+        for seed in $seeds; do
+            out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -chaos "$profile:$seed")
+            got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+            got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+            if [ "$got_sum" != "$base_sum" ] || [ "$got_trace" != "$base_trace" ]; then
+                echo "chaos sweep: $bench under $profile:$seed diverged:" >&2
+                echo "  checksum $got_sum (want $base_sum)" >&2
+                echo "  trace    $got_trace (want $base_trace)" >&2
+                exit 1
+            fi
+            total=$((total + 1))
+        done
+    done
+    echo "$bench ok ($(echo "$profiles" | wc -w | tr -d ' ') profiles x 5 seeds)"
+done
+
+echo "chaos sweep: OK ($total perturbed runs, results byte-identical)"

@@ -22,8 +22,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs + det)"
-go test -race ./internal/obs/... ./internal/det
+echo "== go test -race (obs + det + chaos)"
+go test -race ./internal/obs/... ./internal/det ./internal/chaos/...
 
 echo "== conseq-analyze smoke (golden trace)"
 go run ./cmd/conseq-analyze -input internal/obs/testdata/golden_trace.json >/dev/null
@@ -32,6 +32,11 @@ echo "== bench smoke (1 iteration)"
 go test -run=NONE -bench=. -benchtime=1x ./internal/mem >/dev/null
 
 echo "== determinism gate (final memory + sync-trace hashes vs goldens)"
+# The gate (and the chaos gate below) run detrun many times: build it once.
+detrun_bin=$(mktemp -t detrun.XXXXXX)
+trap 'rm -f "$detrun_bin"' EXIT
+go build -o "$detrun_bin" ./cmd/detrun
+
 # benchmark:checksum:tracehash at t=8 scale=1 seed=42 on the simulation
 # host. These pin program results, not timings: perf work must never move
 # them. Regenerate a line only if an intentional semantic change is fully
@@ -51,7 +56,7 @@ for spec in $goldens; do
     want_sum=${rest%%:*}
     want_trace=${rest#*:}
     for predict in true false; do
-        out=$(go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42 -predict="$predict")
+        out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -predict="$predict")
         got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
         got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
         if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
@@ -62,6 +67,34 @@ for spec in $goldens; do
         fi
     done
     echo "   $bench ok (predict on+off)"
+done
+
+echo "== chaos gate (golden results unmoved under fault injection)"
+# Chaos perturbs timing (jitter, token-grant delay, overflow shrinkage,
+# mispredictions, barrier skew, fault/commit slowdowns) but must never
+# perturb results: every profile:seed must reproduce the golden checksum
+# AND sync-trace hash byte-for-byte. See docs/robustness.md.
+chaos_profiles="jitter token storm"
+chaos_seeds="1 2 3"
+for spec in $goldens; do
+    bench=${spec%%:*}
+    rest=${spec#*:}
+    want_sum=${rest%%:*}
+    want_trace=${rest#*:}
+    for profile in $chaos_profiles; do
+        for seed in $chaos_seeds; do
+            out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -chaos "$profile:$seed")
+            got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+            got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+            if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+                echo "chaos gate: $bench under $profile:$seed diverged:" >&2
+                echo "  checksum $got_sum (want $want_sum)" >&2
+                echo "  trace    $got_trace (want $want_trace)" >&2
+                exit 1
+            fi
+        done
+    done
+    echo "   $bench ok (3 profiles x 3 seeds)"
 done
 
 echo "check: OK"
