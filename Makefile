@@ -1,9 +1,14 @@
 # `make check` is the pre-PR gate (see README): gofmt, vet, build, test.
 
-.PHONY: check build test fmt figures chaos
+.PHONY: check build test fmt figures chaos bench-sched
 
 check:
 	./scripts/check.sh
+
+# Scheduler micro-benchmarks (token handoff, fork/join) at 1 and 4 shards;
+# writes BENCH_sched.json (see docs/scheduler.md).
+bench-sched:
+	./scripts/bench_sched.sh
 
 # Longer fault-injection sweep: every chaos profile x 5 seeds over the
 # golden benchmarks, asserting results never move (see docs/robustness.md).

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 10..16, 'all', or 'none'")
-	table := flag.String("table", "", "supplementary table: polling | chunklimit | pagesize | lrc | all")
+	table := flag.String("table", "", "supplementary table: polling | chunklimit | pagesize | lrc | prefetch | shards | all")
 	threads := flag.String("threads", "2,4,8,16,32", "comma-separated thread counts for sweeps")
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	seed := flag.Int64("seed", 42, "input seed")
@@ -42,6 +42,7 @@ func main() {
 	traceRuntime := flag.String("trace-runtime", string(harness.KindConsequenceIC), "runtime for the observed cell (consequence-ic | consequence-rr)")
 	listen := flag.String("listen", "", "serve the observed cell's live /metrics (Prometheus text format) and /debug/pprof on this address while the cell runs (e.g. :9090)")
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on the observed cell: profile[:seed] (see internal/chaos); the cell's checksum must be unchanged")
+	shards := flag.Int("shards", 1, "token-arbitration shards for the observed cell; >= 2 enables the scheduler scale-out trio (docs/scheduler.md) — results are unchanged by construction")
 	flag.Parse()
 
 	var ths []int
@@ -107,6 +108,7 @@ func main() {
 			Threads:  ths[0],
 			Scale:    *scale,
 			Seed:     *seed,
+			Shards:   *shards,
 			Observer: o,
 			Chaos:    *chaosSpec,
 		})
@@ -135,7 +137,7 @@ func main() {
 	}
 
 	if *table != "" {
-		names := []string{"polling", "chunklimit", "pagesize", "lrc"}
+		names := []string{"polling", "chunklimit", "pagesize", "lrc", "prefetch", "shards"}
 		if *table != "all" {
 			names = []string{*table}
 		}

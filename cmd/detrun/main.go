@@ -60,6 +60,20 @@ var predictFlag = flag.Bool("predict", true, "enable write-set prediction (page 
 // in scripts/check.sh asserts exactly that.
 var chaosFlag = flag.String("chaos", "", "arm seeded fault injection on the consequence runtimes: profile[:seed], e.g. storm:7 (profiles: "+strings.Join(chaos.Profiles(), ", ")+")")
 
+// shardsFlag selects sharded token arbitration on the consequence
+// runtimes. 1 (the default) is the legacy single-token time model; N >= 2
+// partitions lock objects into N shards and also enables the rest of the
+// scale-out trio — the deterministic worker pool (pre-spawned to the
+// benchmark thread count) and lazy fast-forward — since all three target
+// the same token-handoff critical path. Checksums and sync-order hashes
+// are identical at every shard count (only modeled time moves); the shard
+// determinism gate in scripts/check.sh asserts exactly that.
+var shardsFlag = flag.Int("shards", 1, "token arbitration shards on the consequence runtimes (>=2 also enables the worker pool and lazy fast-forward)")
+
+// benchThreads mirrors -threads for mkRuntime (the worker-pool prespawn
+// depth), set once after flag parsing.
+var benchThreads int
+
 func main() {
 	bench := flag.String("bench", "histogram", "benchmark name (see -list)")
 	rtName := flag.String("runtime", "consequence-ic", "consequence-ic | consequence-rr | dthreads | dwc | pthreads | rfdet-lrc")
@@ -80,6 +94,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listChaos := flag.Bool("list-chaos", false, "list built-in chaos profiles and exit")
 	flag.Parse()
+	benchThreads = *threads
 
 	if *timeout > 0 {
 		defer armTimeout(*timeout).Stop()
@@ -351,6 +366,7 @@ func mkRuntime(name string, segSize int, h host.Host) (api.Runtime, error) {
 		c.WriteSetPrediction = *predictFlag
 		c.SegmentSize = segSize
 		c.Model = m
+		c.EnableScaleOut(*shardsFlag, benchThreads)
 		// A fresh injector per runtime: streams carry per-thread sequence
 		// state, so sharing one across runs would decorrelate replays.
 		in, err := chaos.Parse(*chaosFlag)

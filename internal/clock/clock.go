@@ -311,6 +311,15 @@ func (a *Arbiter) ArriveWanting(tid int) int {
 	return a.grantLocked()
 }
 
+// LastRelease returns the clock of the most recent token release. The
+// sharded-arbitration invariant tests compare it against merged shard
+// clocks: no shard clock may ever exceed it.
+func (a *Arbiter) LastRelease() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastRelease
+}
+
 // Holder returns the tid currently holding the token, or NoGrant.
 func (a *Arbiter) Holder() int {
 	a.mu.Lock()

@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ShardSet is the bookkeeping half of sharded token arbitration
+// (docs/scheduler.md): lock objects are partitioned into N shards, each
+// with its own sub-token holder and shard clock. The global grant order is
+// still decided by the Arbiter — the ShardSet never grants anything — but
+// it records, per shard, who last held the shard's sub-token and the
+// release clock of the shard's last operation, so the runtime can tell a
+// cheap shard-local re-acquire (the previous holder taking its own
+// sub-token back) from a full cross-thread transfer, and can price the
+// shard-clock merge that cross-shard edges (barriers, forks, joins, exits)
+// must perform.
+//
+// All methods are called with the global token held (grant decisions are
+// token-serialized), so the state transitions are deterministic; the mutex
+// only protects concurrent *reads* from Stats/DumpState.
+type ShardSet struct {
+	mu      sync.Mutex
+	holders []int   // last tid granted each shard's sub-token (NoGrant = never)
+	clocks  []int64 // shard clock: release clock of the shard's last op
+	grants  []int64 // per-shard grant counts
+
+	locals    int64 // sub-token re-acquires by the shard's previous holder
+	transfers int64 // sub-token handoffs to a different thread
+	merges    int64 // cross-shard merges performed at edges
+}
+
+// NewShardSet creates a ShardSet with n shards (n ≥ 1).
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		panic(fmt.Sprintf("clock: ShardSet needs at least 1 shard, got %d", n))
+	}
+	s := &ShardSet{
+		holders: make([]int, n),
+		clocks:  make([]int64, n),
+		grants:  make([]int64, n),
+	}
+	for i := range s.holders {
+		s.holders[i] = NoGrant
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardSet) Shards() int { return len(s.holders) }
+
+// NoteGrant records that tid was granted shard sh's sub-token and reports
+// whether this was a shard-local re-acquire (tid already held it — the
+// cheap path priced at Model.ShardHandoff instead of TokenHandoff).
+func (s *ShardSet) NoteGrant(sh, tid int) (local bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grants[sh]++
+	if s.holders[sh] == tid {
+		s.locals++
+		return true
+	}
+	s.holders[sh] = tid
+	s.transfers++
+	return false
+}
+
+// NoteRelease publishes clk as shard sh's clock at sub-token release.
+// Shard clocks are monotone: a stale clk (possible only through a runtime
+// bug) is ignored rather than rolled back.
+func (s *ShardSet) NoteRelease(sh int, clk int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if clk > s.clocks[sh] {
+		s.clocks[sh] = clk
+	}
+}
+
+// Merge performs a cross-shard edge: every shard clock is folded together
+// with clk, the merged value is published back to all shards, and the
+// merged clock is returned. After a Merge all shard clocks are equal —
+// the edge (barrier, fork, join, exit) has synchronized the partitions.
+func (s *ShardSet) Merge(clk int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.merges++
+	max := clk
+	for _, c := range s.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range s.clocks {
+		s.clocks[i] = max
+	}
+	return max
+}
+
+// ReleaseAll publishes clk to every shard clock (monotone, like
+// NoteRelease) without counting a merge: the release half of a cross-shard
+// edge, whose merged clock every shard must observe.
+func (s *ShardSet) ReleaseAll(clk int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.clocks {
+		if clk > s.clocks[i] {
+			s.clocks[i] = clk
+		}
+	}
+}
+
+// Clock returns shard sh's current shard clock.
+func (s *ShardSet) Clock(sh int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clocks[sh]
+}
+
+// ShardStats is a snapshot of a ShardSet's counters.
+type ShardStats struct {
+	Shards    int
+	Locals    int64   // shard-local sub-token re-acquires (cheap path)
+	Transfers int64   // cross-thread sub-token handoffs
+	Merges    int64   // cross-shard edge merges
+	Grants    []int64 // per-shard grant counts
+}
+
+// Stats returns a snapshot of the shard counters.
+func (s *ShardSet) Stats() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStats{
+		Shards:    len(s.holders),
+		Locals:    s.locals,
+		Transfers: s.transfers,
+		Merges:    s.merges,
+		Grants:    append([]int64(nil), s.grants...),
+	}
+}
+
+// DumpState renders the per-shard table for failure diagnostics.
+func (s *ShardSet) DumpState() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards: n=%d locals=%d transfers=%d merges=%d\n",
+		len(s.holders), s.locals, s.transfers, s.merges)
+	for i := range s.holders {
+		fmt.Fprintf(&b, "  shard %-3d holder=%-4d clock=%-12d grants=%d\n",
+			i, s.holders[i], s.clocks[i], s.grants[i])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

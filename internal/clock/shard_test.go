@@ -1,0 +1,162 @@
+package clock
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ShardSet is pure bookkeeping: it never grants. These tests pin the
+// three behaviours the runtime's pricing depends on — locality detection,
+// monotone shard clocks, and the merge-equalizes-everything edge rule.
+
+func TestShardSetRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardSet(0) did not panic")
+		}
+	}()
+	NewShardSet(0)
+}
+
+func TestShardSetGrantLocality(t *testing.T) {
+	s := NewShardSet(2)
+	// First grant on a shard is never local — nobody has held it.
+	if s.NoteGrant(0, 5) {
+		t.Error("first grant on shard 0 reported local")
+	}
+	// Same thread re-acquiring its own shard's sub-token: the cheap path.
+	if !s.NoteGrant(0, 5) {
+		t.Error("re-acquire by holder not reported local")
+	}
+	// A different thread taking the sub-token is a transfer.
+	if s.NoteGrant(0, 7) {
+		t.Error("handoff to a new thread reported local")
+	}
+	// Holder state is per shard: tid 5 still owns nothing on shard 1.
+	if s.NoteGrant(1, 5) {
+		t.Error("first grant on shard 1 reported local")
+	}
+	st := s.Stats()
+	if st.Locals != 1 || st.Transfers != 3 {
+		t.Errorf("locals/transfers = %d/%d, want 1/3", st.Locals, st.Transfers)
+	}
+	if st.Grants[0] != 3 || st.Grants[1] != 1 {
+		t.Errorf("per-shard grants = %v, want [3 1]", st.Grants)
+	}
+}
+
+func TestShardSetClocksMonotone(t *testing.T) {
+	s := NewShardSet(2)
+	s.NoteRelease(0, 100)
+	s.NoteRelease(0, 60) // stale: must be ignored, not rolled back
+	if got := s.Clock(0); got != 100 {
+		t.Errorf("shard 0 clock = %d, want 100", got)
+	}
+	if got := s.Clock(1); got != 0 {
+		t.Errorf("shard 1 clock = %d, want untouched 0", got)
+	}
+}
+
+func TestShardSetMergeEqualizes(t *testing.T) {
+	s := NewShardSet(3)
+	s.NoteRelease(0, 10)
+	s.NoteRelease(1, 50)
+	s.NoteRelease(2, 30)
+	if got := s.Merge(40); got != 50 {
+		t.Fatalf("Merge(40) = %d, want max 50", got)
+	}
+	for sh := 0; sh < 3; sh++ {
+		if got := s.Clock(sh); got != 50 {
+			t.Errorf("after merge, shard %d clock = %d, want 50", sh, got)
+		}
+	}
+	// The caller's clock can also be the max.
+	if got := s.Merge(80); got != 80 {
+		t.Errorf("Merge(80) = %d, want 80", got)
+	}
+	if st := s.Stats(); st.Merges != 2 {
+		t.Errorf("merges = %d, want 2", st.Merges)
+	}
+}
+
+func TestShardSetReleaseAll(t *testing.T) {
+	s := NewShardSet(2)
+	s.NoteRelease(1, 90)
+	s.ReleaseAll(70)
+	if got := s.Clock(0); got != 70 {
+		t.Errorf("shard 0 clock = %d, want 70", got)
+	}
+	if got := s.Clock(1); got != 90 {
+		t.Errorf("shard 1 clock = %d, want monotone 90", got)
+	}
+	if st := s.Stats(); st.Merges != 0 {
+		t.Errorf("ReleaseAll counted a merge: %d", st.Merges)
+	}
+}
+
+func TestShardSetStatsSnapshotIsolated(t *testing.T) {
+	s := NewShardSet(1)
+	s.NoteGrant(0, 3)
+	st := s.Stats()
+	st.Grants[0] = 999
+	if got := s.Stats().Grants[0]; got != 1 {
+		t.Errorf("Stats shares its Grants slice: %d", got)
+	}
+}
+
+func TestShardSetDumpState(t *testing.T) {
+	s := NewShardSet(2)
+	s.NoteGrant(1, 4)
+	s.NoteRelease(1, 12)
+	d := s.DumpState()
+	for _, want := range []string{"shards: n=2", "shard 0", "shard 1", "holder=4", "clock=12"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DumpState missing %q:\n%s", want, d)
+		}
+	}
+}
+
+// Shard clocks are derived from token-release clocks, so no shard clock —
+// and no merged clock — may ever run ahead of the arbiter's last release.
+// Drive an Arbiter and a ShardSet together the way the runtime does and
+// check the invariant at every step.
+func TestShardClocksNeverExceedArbiterRelease(t *testing.T) {
+	a := New(PolicyIC, false)
+	s := NewShardSet(4)
+	const n = 4
+	clocks := make([]int64, n)
+	for tid := 0; tid < n; tid++ {
+		a.Register(tid, 0)
+	}
+	// Deterministic pseudo-random walk: each thread advances by a tid- and
+	// step-dependent stride, requests, and on grant releases into its shard.
+	granted := a.Request(0)
+	for step := 0; step < 200; step++ {
+		tid := step % n
+		if tid == granted {
+			continue
+		}
+		stride := int64(1 + (step*7+tid*13)%29)
+		clocks[tid] += stride
+		g := a.Advance(tid, stride)
+		if g == NoGrant {
+			g = a.Request(tid)
+		}
+		for g != NoGrant {
+			sh := g % s.Shards()
+			s.NoteGrant(sh, g)
+			s.NoteRelease(sh, clocks[g])
+			next := a.Release(g)
+			last := a.LastRelease()
+			for i := 0; i < s.Shards(); i++ {
+				if c := s.Clock(i); c > last {
+					t.Fatalf("step %d: shard %d clock %d > arbiter last release %d", step, i, c, last)
+				}
+			}
+			if merged := s.Merge(0); merged > last {
+				t.Fatalf("step %d: merged clock %d > arbiter last release %d", step, merged, last)
+			}
+			g = next
+		}
+	}
+}

@@ -71,6 +71,48 @@ type Model struct {
 	ForkPerPage int64
 	PoolReuse   int64
 
+	// PoolWorkerWake is the spawner-side cost of adopting a parked pooled
+	// worker (docs/scheduler.md): a free-list pop, the deterministic
+	// registration of the new tid, and a futex wake of the worker's parked
+	// task. The worker's own warm-up (view rebind and page pulls, modeled
+	// as WorkerWarmup + pulled×UpdatePage) runs on the worker's timeline,
+	// overlapping the spawner — which is the point: the spawner's critical
+	// path pays only this term instead of ForkBase or PoolReuse.
+	PoolWorkerWake int64
+
+	// WorkerWarmup is the adopted worker's wake-to-ready cost: swap the
+	// workspace's address-space base to the new tid and revalidate its
+	// view against the pinned spawn head. Much cheaper than PoolReuse —
+	// the legacy workspace pool reconstructs a cold workspace's mappings
+	// from pool state, while a live worker's mappings never went away, so
+	// adoption pays only the rebind and the per-page delta pulls
+	// (UpdatePage each) for commits that landed while it was parked.
+	WorkerWarmup int64
+
+	// WakeHandoff is the wake-side share of a token handoff under lazy
+	// fast-forward (§3.5, docs/scheduler.md): the futex wake plus reading
+	// the grant word, with the woken thread's counter fast-forward
+	// *deferred*. FastForwardResync is that deferred resync, charged when
+	// the thread actually takes the token and publishes its clock. The
+	// split replaces TokenHandoff on wake paths when
+	// Config.LazyFastForward is set; WakeHandoff + FastForwardResync <
+	// TokenHandoff because deferral batches the counter reprogramming
+	// with the clock read the thread was about to do anyway.
+	WakeHandoff       int64
+	FastForwardResync int64
+
+	// ShardHandoff is a sub-token re-acquire within one arbitration shard
+	// by the shard's previous holder (docs/scheduler.md): no cross-thread
+	// transfer, no remote cache line, just revalidating the locally-held
+	// sub-token against the shard clock. Charged instead of TokenHandoff
+	// when Config.Shards ≥ 2 and the acquiring thread was the shard's
+	// last holder. ShardClockRead is the per-foreign-shard cost of the
+	// shard-clock merge performed at cross-shard edges (barriers, forks,
+	// joins, exits): a cross-shard op pays (Shards−1)×ShardClockRead on
+	// top of its handoff to fold every shard clock into the global order.
+	ShardHandoff   int64
+	ShardClockRead int64
+
 	// SyncOpLocal is the cost of an uncontended pthreads mutex/barrier
 	// operation (the nondeterministic baseline's only sync overhead).
 	SyncOpLocal int64
@@ -97,6 +139,12 @@ func Default() Model {
 		ForkBase:          120_000,
 		ForkPerPage:       450,
 		PoolReuse:         15_000,
+		PoolWorkerWake:    1_800,
+		WorkerWarmup:      4_000,
+		WakeHandoff:       130,
+		FastForwardResync: 90,
+		ShardHandoff:      120,
+		ShardClockRead:    40,
 		SyncOpLocal:       90,
 	}
 }

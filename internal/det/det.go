@@ -79,8 +79,47 @@ type Config struct {
 	UserspaceClockRead bool
 	// ThreadPool enables §3.3 thread reuse for fork-join programs.
 	ThreadPool bool
-	// PoolCap bounds the number of pooled workspaces.
+	// PoolCap bounds the number of pooled workspaces (and, under
+	// WorkerPool, parked workers).
 	PoolCap int
+	// WorkerPool upgrades §3.3 thread reuse from workspace recycling to
+	// full worker reuse (docs/scheduler.md): an exiting thread parks its
+	// host task and workspace on a replay-stable free list keyed by
+	// (exit clock, tid), and a later Spawn adopts the warmest parked
+	// worker instead of forking. The spawner pays only
+	// Model.PoolWorkerWake; the adopted worker performs its own view
+	// warm-up off the spawner's critical path. Results (checksums, sync
+	// traces) are identical with the pool on or off — only modeled time
+	// and its placement move.
+	WorkerPool bool
+	// PoolPrespawn pre-creates this many parked workers before the root
+	// thread starts (requires WorkerPool), so even a program's first
+	// spawns adopt instead of forking: worker creation cost lands on the
+	// workers' own timelines at startup, overlapping the root thread's
+	// ramp-up. Bounded by PoolCap.
+	PoolPrespawn int
+	// LazyFastForward defers a woken thread's counter fast-forward off
+	// the wake path (§3.5 refined, docs/scheduler.md): the wake itself
+	// pays only Model.WakeHandoff, and the deferred resync
+	// (Model.FastForwardResync) is charged when the thread actually
+	// takes the token. Logical clock values are unchanged — the arbiter
+	// still fast-forwards exactly as with eager FF — so grant order and
+	// traces are identical; only the charge structure moves. Effective
+	// only when FastForward is on.
+	LazyFastForward bool
+	// Shards partitions lock objects into this many arbitration shards
+	// (docs/scheduler.md), each with its own sub-token and shard clock,
+	// merged only at cross-shard edges (barriers, forks, joins, exits).
+	// The global grant order is unchanged — the sharded structure grants
+	// in exactly the single-token order, which is the determinism
+	// argument — but a shard-local sub-token re-acquire is priced at
+	// Model.ShardHandoff instead of a full TokenHandoff. 0 and 1 both
+	// mean the legacy single token and reproduce the pre-shard time
+	// model exactly (dwc-strict keeps Shards = 1).
+	Shards int
+	// Sharder maps lock object ids to shards; nil selects FNVSharder
+	// (fnv32a hash + modulo). Only consulted when Shards >= 2.
+	Sharder Sharder
 	// ParallelBarrier enables the two-phase parallel barrier commit (§4.2).
 	ParallelBarrier bool
 	// SpeculativeDiff hoists commit diff computation off the token path: a
@@ -171,6 +210,7 @@ func Default() Config {
 		UserspaceClockRead:    true,
 		ThreadPool:            true,
 		PoolCap:               64,
+		Shards:                1,
 		ParallelBarrier:       true,
 		SpeculativeDiff:       true,
 		WriteSetPrediction:    true,
@@ -184,6 +224,22 @@ func Default() Config {
 		TraceKeep:       4096,
 		Model:           costmodel.Default(),
 	}
+}
+
+// EnableScaleOut applies the scheduler scale-out trio (docs/scheduler.md)
+// for a run with the given thread count: Shards-way token arbitration,
+// the deterministic worker pool pre-spawned to the thread count, and lazy
+// fast-forward. A shards value below 2 leaves the configuration untouched
+// — the legacy single-token time model. Results (checksums, sync-order
+// traces) are identical at every shard count; only modeled time moves.
+func (c *Config) EnableScaleOut(shards, threads int) {
+	if shards < 2 {
+		return
+	}
+	c.Shards = shards
+	c.WorkerPool = true
+	c.LazyFastForward = true
+	c.PoolPrespawn = threads
 }
 
 // Hooks receives token-serialized notifications of runtime events; the LRC
@@ -220,9 +276,21 @@ type Runtime struct {
 	hooks Hooks
 	obs   *obs.Observer
 
-	mu      sync.Mutex // guards threads map and pool
+	mu      sync.Mutex // guards threads map, pool and workers
 	threads map[int]*Thread
 	pool    []*mem.Workspace
+	// workers is the parked-worker free list (WorkerPool), kept sorted by
+	// free-list key ascending so the warmest worker pops from the end.
+	// Mutations are token-serialized (spawn adopts, exit parks, the last
+	// exit drains) — the list order, and therefore which worker a spawn
+	// adopts, is replay-stable.
+	workers   []*worker
+	workerSeq int
+
+	// shardSet/sharder are the sharded-arbitration bookkeeping, nil/unused
+	// when cfg.Shards < 2.
+	shardSet *clock.ShardSet
+	sharder  Sharder
 
 	// diagMu guards heldLocks: per-tid held mutex ids for failure
 	// diagnostics (RuntimeError, DumpState). Ownership changes are
@@ -258,6 +326,21 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 	if cfg.Coarsening && cfg.StaticLevel == 1 {
 		return nil, fmt.Errorf("det: static coarsening level 1 is meaningless (use 0 for adaptive or >= 2)")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("det: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.PoolPrespawn < 0 {
+		return nil, fmt.Errorf("det: negative prespawn count %d", cfg.PoolPrespawn)
+	}
+	if cfg.PoolPrespawn > 0 && !cfg.WorkerPool {
+		return nil, fmt.Errorf("det: PoolPrespawn requires WorkerPool")
+	}
+	if cfg.WorkerPool && cfg.PoolCap <= 0 {
+		return nil, fmt.Errorf("det: WorkerPool requires a positive PoolCap")
+	}
 	seg, err := mem.NewSegment(mem.SegmentConfig{
 		Name:         "heap",
 		Size:         cfg.SegmentSize,
@@ -279,6 +362,13 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 	}
 	if cfg.SingleGlobalLock {
 		rt.globalMutex = &dMutex{id: 1, owner: -1}
+	}
+	if cfg.Shards >= 2 {
+		rt.shardSet = clock.NewShardSet(cfg.Shards)
+		rt.sharder = cfg.Sharder
+		if rt.sharder == nil {
+			rt.sharder = FNVSharder{}
+		}
 	}
 	return rt, nil
 }
@@ -335,6 +425,18 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	r.Func("clock_departs", arbFunc(func(s clock.Stats) int64 { return s.Departs }))
 	r.Func("clock_fast_forwards", arbFunc(func(s clock.Stats) int64 { return s.FastForwards }))
 	r.Func("clock_fast_forward_skip", arbFunc(func(s clock.Stats) int64 { return s.FastForwardSkip }))
+	if ss := rt.shardSet; ss != nil {
+		ssFunc := func(f func(clock.ShardStats) int64) func() int64 {
+			return func() int64 { return f(ss.Stats()) }
+		}
+		r.Func("clock_shard_local_reacquires", ssFunc(func(s clock.ShardStats) int64 { return s.Locals }))
+		r.Func("clock_shard_transfers", ssFunc(func(s clock.ShardStats) int64 { return s.Transfers }))
+		r.Func("clock_shard_merges", ssFunc(func(s clock.ShardStats) int64 { return s.Merges }))
+		for i := 0; i < ss.Shards(); i++ {
+			sh := i
+			r.Func("clock_shard_grants", func() int64 { return ss.Stats().Grants[sh] }, obs.L("shard", sh))
+		}
+	}
 	aggFunc := func(f func(api.RunStats) int64) func() int64 {
 		return func() int64 {
 			rt.aggMu.Lock()
@@ -396,6 +498,17 @@ func (rt *Runtime) Run(root func(api.T)) error {
 		return err
 	}
 	rt.nextTid = 1
+	// Pre-spawned workers start (and pay their creation cost) on their own
+	// timelines before the root thread runs, so a program's first spawns
+	// can adopt instead of forking. No token exists yet: the list build is
+	// single-threaded and its order (creation order) is deterministic.
+	prespawn := rt.cfg.PoolPrespawn
+	if prespawn > rt.cfg.PoolCap {
+		prespawn = rt.cfg.PoolCap
+	}
+	for i := 0; i < prespawn; i++ {
+		rt.spawnWorker(nil, nil, nil)
+	}
 	rt.h.Go("t0", nil, func(b host.Binding) {
 		t.start(b)
 		rt.threadMain(t, root)
@@ -421,6 +534,7 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		tid:      tid,
 		ws:       ws,
 		icount:   startClock,
+		curShard: -1,
 		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
 	}
 	t.coarse.maxChunk = rt.cfg.MaxChunkInit
@@ -561,15 +675,17 @@ func (rt *Runtime) aggregate(t *Thread) {
 	a := &rt.agg.RunStats
 	// Commit, merge and speculative diffing are distinct trace phases but
 	// one RunStats category, preserving the seed's Figure 15 breakdown;
-	// likewise prefetch is page-population time and folds into Fault.
+	// likewise prefetch is page-population time and folds into Fault, and
+	// spawn, handoff and fast-forward are the scheduler refinement of Lib.
 	commitNS := t.bd[obs.PhaseCommit] + t.bd[obs.PhaseMerge] + t.bd[obs.PhaseSpecDiff]
 	faultNS := t.bd[obs.PhaseFault] + t.bd[obs.PhasePrefetch]
+	libNS := t.bd[obs.PhaseLib] + t.bd[obs.PhaseSpawn] + t.bd[obs.PhaseHandoff] + t.bd[obs.PhaseFastForward]
 	a.LocalWorkNS += t.bd[obs.PhaseCompute]
 	a.DetermWaitNS += t.bd[obs.PhaseTokenWait]
 	a.BarrierWaitNS += t.bd[obs.PhaseBarrierWait]
 	a.CommitNS += commitNS
 	a.FaultNS += faultNS
-	a.LibNS += t.bd[obs.PhaseLib]
+	a.LibNS += libNS
 	a.SyncOps += t.syncOps
 	a.CoarsenedOps += t.coarsenedOps
 	a.PerThread = append(a.PerThread, api.ThreadTime{
@@ -579,7 +695,7 @@ func (rt *Runtime) aggregate(t *Thread) {
 		BarrierWait: t.bd[obs.PhaseBarrierWait],
 		Commit:      commitNS,
 		Fault:       faultNS,
-		Lib:         t.bd[obs.PhaseLib],
+		Lib:         libNS,
 	})
 	if now := t.b.Now(); now > a.WallNS {
 		a.WallNS = now

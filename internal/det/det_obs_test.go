@@ -136,7 +136,8 @@ func TestObserverDoesNotPerturbDeterminism(t *testing.T) {
 			{"barrier-wait", sums[obs.PhaseBarrierWait], tt.BarrierWait},
 			{"commit+merge", sums[obs.PhaseCommit] + sums[obs.PhaseMerge] + sums[obs.PhaseSpecDiff], tt.Commit},
 			{"fault", sums[obs.PhaseFault], tt.Fault},
-			{"lib", sums[obs.PhaseLib], tt.Lib},
+			{"lib", sums[obs.PhaseLib] + sums[obs.PhaseSpawn] +
+				sums[obs.PhaseHandoff] + sums[obs.PhaseFastForward], tt.Lib},
 		}
 		for _, c := range checks {
 			if c.span != c.stat {

@@ -1,0 +1,196 @@
+package det_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/costmodel"
+	"repro/internal/det"
+	"repro/internal/host/realhost"
+	"repro/internal/host/simhost"
+	"repro/internal/trace"
+)
+
+// scaleOutCfg is cfg() with the scheduler scale-out trio enabled
+// (docs/scheduler.md): sharded arbitration, the worker pool pre-spawned to
+// threads, and lazy fast-forward.
+func scaleOutCfg(shards, threads int) det.Config {
+	c := cfg()
+	c.EnableScaleOut(shards, threads)
+	return c
+}
+
+// The scale-out trio must not change a single observable: same memory
+// checksum, same synchronization trace (order AND clocks), on every host.
+// Only wall time may move.
+func TestScaleOutMatchesLegacy(t *testing.T) {
+	progs := map[string]func(api.T){
+		"counter": counterProg(4, 20),
+		"racy":    racyProg(4),
+	}
+	for pname, prog := range progs {
+		t.Run(pname, func(t *testing.T) {
+			for _, hm := range allHosts() {
+				t.Run(hm.name, func(t *testing.T) {
+					sum0, rec0, _ := run(t, cfg(), hm.mk(), prog)
+					sum1, rec1, rt1 := run(t, scaleOutCfg(4, 4), hm.mk(), prog)
+					if sum1 != sum0 {
+						t.Errorf("scale-out checksum %x != legacy %x", sum1, sum0)
+					}
+					if h0, h1 := rec0.Hash(), rec1.Hash(); h1 != h0 {
+						t.Errorf("scale-out trace hash %x != legacy %x\n%s",
+							h1, h0, trace.Diff(rec0, rec1))
+					}
+					// Adoption is guaranteed only on the simulation host: on
+					// the real host a pre-spawned worker whose goroutine has
+					// not yet reached its first park is not adoptable
+					// (popWorker skips it), so reuse there is best-effort.
+					if hm.name == "sim" {
+						if reused := rt1.Stats().ThreadsReused; reused == 0 {
+							t.Error("worker pool never engaged: ThreadsReused = 0")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// Checksum and trace must be invariant across the whole shard matrix — the
+// in-process version of the scripts/check.sh golden gate.
+func TestShardMatrixDeterminism(t *testing.T) {
+	prog := counterProg(4, 20)
+	sum0, rec0, _ := run(t, cfg(), simhost.New(costmodel.Default()), prog)
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sum, rec, _ := run(t, scaleOutCfg(shards, 4), simhost.New(costmodel.Default()), prog)
+			if sum != sum0 {
+				t.Errorf("checksum %x != shards=1 %x", sum, sum0)
+			}
+			if rec.Hash() != rec0.Hash() {
+				t.Errorf("trace hash %x != shards=1 %x\n%s",
+					rec.Hash(), rec0.Hash(), trace.Diff(rec0, rec))
+			}
+		})
+	}
+}
+
+// EnableScaleOut below 2 shards is a no-op by contract: the config stays
+// the legacy one, and a run reproduces the legacy time model bit for bit —
+// not just the checksum but every RunStats field, including WallNS.
+func TestShardsOneIsLegacyTimeModel(t *testing.T) {
+	c := cfg()
+	c.EnableScaleOut(1, 8)
+	if !reflect.DeepEqual(c, cfg()) {
+		t.Fatalf("EnableScaleOut(1, 8) changed the config:\n got %+v\nwant %+v", c, cfg())
+	}
+	prog := counterProg(4, 20)
+	_, _, rt0 := run(t, cfg(), simhost.New(costmodel.Default()), prog)
+	_, _, rt1 := run(t, c, simhost.New(costmodel.Default()), prog)
+	s0, s1 := rt0.Stats(), rt1.Stats()
+	if !reflect.DeepEqual(s0, s1) {
+		t.Errorf("RunStats diverged at Shards=1:\n got %+v\nwant %+v", s1, s0)
+	}
+}
+
+// Pre-spawned workers that never get adopted must be drained when the run
+// ends: on the simulation host a leaked parked worker is a deadlock error
+// from Run, so a nil error is the drain proof.
+func TestPrespawnedWorkersDrain(t *testing.T) {
+	c := scaleOutCfg(4, 8) // 8 parked workers, program spawns only 2
+	sum0, _, _ := run(t, cfg(), simhost.New(costmodel.Default()), counterProg(2, 10))
+	sum1, _, _ := run(t, c, simhost.New(costmodel.Default()), counterProg(2, 10))
+	if sum1 != sum0 {
+		t.Errorf("checksum %x != legacy %x", sum1, sum0)
+	}
+}
+
+// On the real host, parked pool workers declare their blocks idle
+// (host.IdleReasonPrefix), so an armed stall watchdog must stay quiet
+// through a pooled run even though workers sit blocked between threads.
+func TestWorkerPoolQuietUnderWatchdog(t *testing.T) {
+	h := realhost.New(0, 0)
+	var fires atomic.Int32
+	h.SetWatchdog(5*time.Second, func(string) { fires.Add(1) })
+	sum0, _, _ := run(t, cfg(), realhost.New(0, 0), counterProg(4, 20))
+	sum1, _, _ := run(t, scaleOutCfg(4, 4), h, counterProg(4, 20))
+	if sum1 != sum0 {
+		t.Errorf("checksum %x != legacy %x", sum1, sum0)
+	}
+	if n := fires.Load(); n != 0 {
+		t.Errorf("watchdog fired %d times during a pooled run", n)
+	}
+}
+
+// benchRT builds a fresh sim-hosted runtime for the scheduler benchmarks.
+func benchRT(b *testing.B, c det.Config) *det.Runtime {
+	b.Helper()
+	c.SegmentSize = 1 << 20
+	rt, err := det.New(c, simhost.New(costmodel.Default()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkTokenHandoff measures the host-level cost of the token
+// ping-pong: two threads alternating lock/unlock on one mutex, the
+// worst case for the arbitration path. Reported per sync op.
+func BenchmarkTokenHandoff(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := det.Default()
+			c.EnableScaleOut(shards, 2)
+			rt := benchRT(b, c)
+			b.ResetTimer()
+			err := rt.Run(func(t api.T) {
+				m := t.NewMutex()
+				h := t.Spawn(func(t api.T) {
+					for i := 0; i < b.N; i++ {
+						t.Lock(m)
+						t.Unlock(m)
+					}
+				})
+				for i := 0; i < b.N; i++ {
+					t.Lock(m)
+					t.Unlock(m)
+				}
+				t.Join(h)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkForkJoin measures thread lifecycle cost: spawn a trivial child
+// and join it, once per iteration — the path the worker pool exists to
+// shorten.
+func BenchmarkForkJoin(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{{"legacy", 1}, {"pooled", 4}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := det.Default()
+			c.EnableScaleOut(mode.shards, 2)
+			rt := benchRT(b, c)
+			b.ResetTimer()
+			err := rt.Run(func(t api.T) {
+				for i := 0; i < b.N; i++ {
+					h := t.Spawn(func(t api.T) { t.Compute(100) })
+					t.Join(h)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

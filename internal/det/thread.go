@@ -43,6 +43,15 @@ type Thread struct {
 
 	holding bool // holds the global token
 
+	// worker is the pooled worker this thread runs on (nil for the root
+	// thread, and for every thread when Config.WorkerPool is off).
+	worker *worker
+	// curShard is the arbitration shard of the sync op in progress, -1
+	// for cross-shard edges (barrier/spawn/join/exit) and whenever
+	// sharding is off. Set by syncOpStart, consumed by the handoff and
+	// release charge sites.
+	curShard int
+
 	coarse          coarsenState
 	lastSyncIcount  int64
 	lastCommitCount int64 // icount at last commit (ad-hoc chunk limit)
@@ -267,6 +276,9 @@ func (t *Thread) maybeForceCommit() {
 	if limit <= 0 || t.icount-t.lastCommitCount < limit {
 		return
 	}
+	// A forced commit is not an operation on any lock object: it is a
+	// global publication, i.e. a cross-shard edge.
+	t.curShard = -1
 	t.tokenBegin()
 	t.tokenEnd(coarsenNever, 0)
 }
@@ -417,24 +429,78 @@ func (t *Thread) acquireToken() {
 	// End-of-chunk clock read (syscall path; the user-space fast path
 	// applies only inside coarsened chunks, see tokenBegin).
 	t.charge(obs.PhaseLib, m.SyscallClockRead)
+	woken := false
 	if g := t.rt.arb.Request(t.tid); g != t.tid {
 		t.deliver(g)
 		t.park(diagTokenWait, "global token")
 		t.resyncClock()
+		woken = true
+	} else {
 	}
 	t.holding = true
 	t.account(obs.PhaseTokenWait)
-	t.charge(obs.PhaseLib, m.TokenHandoff)
+	t.chargeHandoff(woken)
 	t.overflow.ResetChunk()
 	t.toOverflow = 0
 }
 
+// chargeHandoff prices taking the global token. The price depends on how
+// the token arrived, never on anything that could change grant order:
+//
+//   - Legacy (Shards < 2, no lazy FF): the full Model.TokenHandoff,
+//     exactly the pre-scale-out time model.
+//   - Lazy fast-forward (woken wake paths): the slim Model.WakeHandoff on
+//     the wake, plus the deferred Model.FastForwardResync charged here —
+//     when the thread actually takes the token — as its own phase.
+//   - Sharded arbitration, shardable op: a shard-local sub-token
+//     re-acquire (this thread was the shard's last holder) costs only
+//     Model.ShardHandoff; a sub-token transfer costs the full handoff.
+//   - Sharded arbitration, cross-shard edge: the full handoff plus
+//     (Shards−1) × Model.ShardClockRead to fold every shard clock.
+func (t *Thread) chargeHandoff(woken bool) {
+	cfg := &t.rt.cfg
+	m := &cfg.Model
+	base := m.TokenHandoff
+	var ff int64
+	if woken && cfg.FastForward && cfg.LazyFastForward {
+		base = m.WakeHandoff
+		ff = m.FastForwardResync
+	}
+	if ss := t.rt.shardSet; ss != nil {
+		if t.curShard >= 0 {
+			if ss.NoteGrant(t.curShard, t.tid) && m.ShardHandoff < base+ff {
+				// The sub-token never left this thread: no transfer, no
+				// deferred resync to pay.
+				base, ff = m.ShardHandoff, 0
+			}
+		} else {
+			ss.Merge(t.icount)
+			base += int64(ss.Shards()-1) * m.ShardClockRead
+		}
+	}
+	t.charge(obs.PhaseHandoff, base)
+	if ff > 0 {
+		t.charge(obs.PhaseFastForward, ff)
+	}
+}
+
 // releaseTokenRaw gives up the token without committing. The arbiter
-// advances our clock by one (the sync op itself); mirror it.
+// advances our clock by one (the sync op itself); mirror it. Under
+// sharded arbitration the release clock is also published to the op's
+// shard (or, for a cross-shard edge, to every shard) before the arbiter
+// hands the token on, so the next holder observes up-to-date shard
+// clocks.
 func (t *Thread) releaseTokenRaw() {
 	t.publishPending()
 	t.holding = false
 	t.icount++
+	if ss := t.rt.shardSet; ss != nil {
+		if t.curShard >= 0 {
+			ss.NoteRelease(t.curShard, t.icount)
+		} else {
+			ss.ReleaseAll(t.icount)
+		}
+	}
 	t.deliver(t.rt.arb.Release(t.tid))
 }
 
@@ -458,7 +524,7 @@ func (t *Thread) blockForToken(phase int32, reason string) {
 	t.resyncClock()
 	t.holding = true
 	t.account(obs.PhaseTokenWait)
-	t.charge(obs.PhaseLib, t.rt.cfg.Model.TokenHandoff)
+	t.chargeHandoff(true)
 	t.overflow.ResetChunk()
 	t.toOverflow = 0
 	// Acquire semantics: import everything committed while we slept.
@@ -589,6 +655,26 @@ const (
 // train against.
 func siteID(kind, obj uint64) uint64 { return kind<<56 | obj&(1<<56-1) }
 
+// shardOf maps a sync site to its arbitration shard: lock-object
+// operations shard by object id through the configured Sharder; barriers,
+// forks, joins and exits are cross-shard edges (-1). Only called when
+// sharding is on. A Sharder that returns an out-of-range shard is a
+// configuration bug surfaced as a RuntimeError, not silently clamped.
+func (t *Thread) shardOf(site uint64) int {
+	switch site >> 56 {
+	case siteLock, siteUnlock, siteCondWait, siteSignal, siteBroadcast:
+		obj := site & (1<<56 - 1)
+		sh := t.rt.sharder.Shard(obj, t.rt.cfg.Shards)
+		if sh < 0 || sh >= t.rt.cfg.Shards {
+			panic(t.runtimeError("bad-shard", "shard", obj,
+				"Sharder returned shard %d for object %d with %d shards", sh, obj, t.rt.cfg.Shards))
+		}
+		return sh
+	default:
+		return -1
+	}
+}
+
 // syncOpStart updates per-thread chunk statistics at the start of every
 // synchronization operation; site is the operation's predictor key
 // (siteID). Unlock estimates only learn from chunks that followed an
@@ -597,6 +683,9 @@ func siteID(kind, obj uint64) uint64 { return kind<<56 | obj&(1<<56-1) }
 // trains the site that started it, and the site now starting becomes the
 // key the next speculate consults.
 func (t *Thread) syncOpStart(site uint64) {
+	if t.rt.shardSet != nil {
+		t.curShard = t.shardOf(site)
+	}
 	chunk := t.icount - t.lastSyncIcount
 	if t.prevUnlockID != 0 {
 		t.unlockEstimator(t.prevUnlockID).update(float64(chunk))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/host"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -34,10 +35,54 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 
 	var child *Thread
 	reused := false
-	rt.mu.Lock()
-	nPooled := len(rt.pool)
-	rt.mu.Unlock()
-	if rt.cfg.ThreadPool && nPooled > 0 {
+	var adopted *worker
+	if rt.cfg.WorkerPool {
+		if w := rt.popWorker(); w != nil {
+			// Adopt a parked worker (docs/scheduler.md): the spawner pays
+			// only the free-list pop + registration + wake; the worker does
+			// its own view warm-up off this thread's critical path. The
+			// head pin below makes the child's initial view byte-identical
+			// to a fresh fork's.
+			var ws *mem.Workspace
+			var warmPulls int64
+			if w.ws != nil {
+				ws = w.ws
+				w.ws = nil
+				if err := rt.seg.Rebind(ws, tid); err != nil {
+					panic(fmt.Sprintf("det: pool rebind: %v", err))
+				}
+			} else {
+				// Pre-spawned worker, first adoption: its real fork happened
+				// at startup with an empty page table; the stale view it
+				// would now pull is modeled as the populated page count.
+				var err error
+				ws, err = rt.seg.Snapshot(tid)
+				if err != nil {
+					panic(fmt.Sprintf("det: spawn: %v", err))
+				}
+				warmPulls = int64(rt.seg.PopulatedPages())
+			}
+			t.account(obs.PhaseCompute)
+			t.charge(obs.PhaseSpawn, m.PoolWorkerWake)
+			child = rt.attachThread(tid, t.icount, ws)
+			child.worker = w
+			w.next, w.fn = child, fn
+			w.head = rt.seg.Head()
+			w.warm, w.warmPulls = true, warmPulls
+			adopted = w
+			reused = true
+		} else {
+			// No worker free: fork, and run the child on a new worker so
+			// its slot is poolable at exit.
+			t.account(obs.PhaseCompute)
+			t.charge(obs.PhaseSpawn, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
+			var err error
+			child, err = rt.newThread(tid, t.icount)
+			if err != nil {
+				panic(fmt.Sprintf("det: spawn: %v", err))
+			}
+		}
+	} else if rt.cfg.ThreadPool && rt.pooledWorkspaces() > 0 {
 		rt.mu.Lock()
 		ws := rt.pool[len(rt.pool)-1]
 		rt.pool = rt.pool[:len(rt.pool)-1]
@@ -47,13 +92,13 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 		}
 		t.account(obs.PhaseCompute)
 		pulled := ws.UpdateTo(rt.seg.Head())
-		t.charge(obs.PhaseLib, m.PoolReuse+int64(pulled)*m.UpdatePage)
+		t.charge(obs.PhaseSpawn, m.PoolReuse+int64(pulled)*m.UpdatePage)
 		child = rt.attachThread(tid, t.icount, ws)
 		reused = true
 	} else {
 		// Fork: every populated page-table entry is copied into the child.
 		t.account(obs.PhaseCompute)
-		t.charge(obs.PhaseLib, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
+		t.charge(obs.PhaseSpawn, m.ForkBase+int64(rt.seg.PopulatedPages())*m.ForkPerPage)
 		var err error
 		child, err = rt.newThread(tid, t.icount)
 		if err != nil {
@@ -64,12 +109,26 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 	if h := rt.hooks; h != nil {
 		h.OnSpawn(t.tid, tid)
 	}
-	rt.h.Go(fmt.Sprintf("t%d", tid), t.b, func(b host.Binding) {
-		child.start(b)
-		rt.threadMain(child, fn)
-	})
+	switch {
+	case adopted != nil:
+		t.b.Wake(adopted.b)
+	case rt.cfg.WorkerPool:
+		rt.spawnWorker(child, fn, t.b)
+	default:
+		rt.h.Go(fmt.Sprintf("t%d", tid), t.b, func(b host.Binding) {
+			child.start(b)
+			rt.threadMain(child, fn)
+		})
+	}
 	t.tokenEnd(coarsenNever, 0)
 	return child
+}
+
+// pooledWorkspaces returns the legacy workspace-pool depth.
+func (rt *Runtime) pooledWorkspaces() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.pool)
 }
 
 // spawnObj derives the hook object id for a spawn/exit edge of a tid.
@@ -122,19 +181,42 @@ func (t *Thread) exit() {
 	}
 	t.joiners = nil
 
+	// Deregister while still holding the token. The pooling decision below
+	// depends on how many threads remain; doing the map delete after the
+	// token release would let another exiting thread observe us as still
+	// live, pool its worker, and park forever.
 	rt.mu.Lock()
-	poolIt := rt.cfg.ThreadPool && len(rt.pool) < rt.cfg.PoolCap
+	delete(rt.threads, t.tid)
+	remaining := len(rt.threads)
 	rt.mu.Unlock()
-	if poolIt {
-		// Keep the workspace for reuse. Its snapshot stays at the current
-		// head, pinning later versions until reuse — the realistic memory
-		// cost of pooling.
+
+	switch {
+	case t.worker != nil && remaining > 0 && rt.workerSlotFree():
+		// Park this thread's worker, keeping the workspace warm for the
+		// next Spawn to adopt. The snapshot stays at the current head,
+		// pinning later versions until reuse — the realistic memory cost
+		// of pooling. Insertion is token-held, keyed (exit clock, tid), so
+		// the free-list order — and every later adoption — is
+		// replay-stable.
+		t.ws.UpdateTo(rt.seg.Head())
+		w := t.worker
+		w.ws = t.ws
+		w.pooled = true
+		rt.mu.Lock()
+		rt.insertWorkerLocked(w, [2]int64{t.icount, int64(t.tid)})
+		rt.mu.Unlock()
+	case rt.cfg.ThreadPool && !rt.cfg.WorkerPool && rt.pooledWorkspaces() < rt.cfg.PoolCap:
+		// Legacy workspace-only pool (PR 3): keep the workspace, the host
+		// task ends.
 		t.ws.UpdateTo(rt.seg.Head())
 		rt.mu.Lock()
 		rt.pool = append(rt.pool, t.ws)
 		rt.mu.Unlock()
-	} else {
+	default:
 		rt.seg.Release(t.ws)
+	}
+	if rt.cfg.WorkerPool && remaining == 0 {
+		rt.drainWorkers(t)
 	}
 
 	t.account(obs.PhaseCompute)
@@ -142,7 +224,11 @@ func (t *Thread) exit() {
 	t.releaseTokenRaw()
 	t.deliver(rt.arb.Unregister(t.tid))
 	t.diagPhase.Store(diagDone)
+}
+
+// workerSlotFree reports whether the worker free list has pool capacity.
+func (rt *Runtime) workerSlotFree() bool {
 	rt.mu.Lock()
-	delete(rt.threads, t.tid)
-	rt.mu.Unlock()
+	defer rt.mu.Unlock()
+	return len(rt.workers) < rt.cfg.PoolCap
 }

@@ -1,0 +1,202 @@
+package det
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// worker is a reusable host task (goroutine on the real host, proc on the
+// simulation host) that runs deterministic threads one after another
+// (Config.WorkerPool, docs/scheduler.md). Between threads it parks on the
+// runtime's free list; a Spawn adopts it by popping the list, assigning
+// next/fn under the token, and waking it. Everything that decides *which*
+// worker runs *which* thread happens token-held, so placement — and with
+// it every modeled charge — is replay-stable.
+//
+// Field ownership: b is written once by the worker under rt.mu;
+// next/fn/head/warm/warmPulls/terminate are written by the adopting (or
+// draining) thread before its wake and read by the worker after its park,
+// ordered by the wake permit; pooled is only ever touched from the
+// worker's own goroutine (exit runs on it).
+type worker struct {
+	seq int
+	b   host.Binding
+	// ws is the workspace a pooled worker keeps between threads (nil
+	// while running one, and on pre-spawned workers until first pooled).
+	ws *mem.Workspace
+
+	next *Thread
+	fn   func(api.T)
+	// head is the segment version the adopted worker must update its view
+	// to before running next — pinned by the spawner under the token, so
+	// the child's initial view is byte-identical to a fresh fork's
+	// regardless of what commits while the worker wakes.
+	head int64
+	// warm marks an adoption (vs. a fresh spawn run directly): the worker
+	// performs its own view warm-up off the spawner's critical path.
+	warm bool
+	// warmPulls, when > 0, overrides the modeled pull count for the
+	// warm-up charge: a pre-spawned worker's workspace is snapshotted at
+	// adoption (its real fork happened at startup with an empty page
+	// table), so the stale view it would have pulled is modeled as the
+	// segment's populated pages.
+	warmPulls int64
+	// selfCharge makes the worker pay its own creation cost (pre-spawned
+	// workers have no parent to charge; a fresh spawn's fork is charged
+	// to the spawner, as before).
+	selfCharge bool
+	pooled     bool
+	terminate  bool
+	key        [2]int64
+}
+
+// spawnWorker creates a worker host task. With child == nil this is a
+// pre-spawned idle worker: it charges its own creation cost and waits on
+// the free list. With a child, the worker runs it immediately (the fresh
+// spawn path under WorkerPool; the spawner has already paid the fork
+// charge and pre-assigned next before the task starts).
+func (rt *Runtime) spawnWorker(child *Thread, fn func(api.T), parent host.Binding) {
+	w := &worker{seq: rt.workerSeq, selfCharge: child == nil, next: child, fn: fn}
+	rt.workerSeq++
+	if child != nil {
+		child.worker = w
+	} else {
+		rt.mu.Lock()
+		rt.insertWorkerLocked(w, [2]int64{-1, -int64(w.seq)})
+		rt.mu.Unlock()
+	}
+	rt.h.Go(fmt.Sprintf("w%d", w.seq), parent, func(b host.Binding) {
+		rt.runWorker(w, b)
+	})
+}
+
+// runWorker is a worker's task body: run assigned threads until the run
+// drains the pool or the worker's last thread declines to re-pool it.
+func (rt *Runtime) runWorker(w *worker, b host.Binding) {
+	rt.mu.Lock()
+	w.b = b
+	term := w.terminate
+	rt.mu.Unlock()
+	if term {
+		return
+	}
+	m := &rt.cfg.Model
+	if w.selfCharge && rt.timed {
+		b.Charge(m.ForkBase + int64(rt.seg.PopulatedPages())*m.ForkPerPage)
+	}
+	if w.selfCharge {
+		// A pre-spawned worker always parks once before its first thread,
+		// even if an adoption already assigned next while this task was
+		// still paying its creation charge: the adopter has sent a wake,
+		// and skipping the park would leave that permit armed to spuriously
+		// release the thread's next real block. (A fresh-spawn worker has
+		// next pre-assigned and no wake pending, so it must not park.)
+		rt.parkIdle(w, b)
+	}
+	for {
+		if w.terminate {
+			return
+		}
+		t, fn := w.next, w.fn
+		w.next, w.fn = nil, nil
+		t.start(b)
+		if w.warm {
+			// Worker-side warm-up, off the spawner's critical path: rebind
+			// the still-live mappings to the new tid and pull the view
+			// forward to the pinned spawn-time head — the same logical
+			// operations the legacy workspace pool performed on the
+			// spawner, with identical results, but priced as a live-worker
+			// rebind (WorkerWarmup) rather than a cold-pool rebuild
+			// (PoolReuse) and placed on the worker's own timeline.
+			pulls := int64(t.ws.UpdateTo(w.head))
+			if w.warmPulls > 0 {
+				pulls, w.warmPulls = w.warmPulls, 0
+			}
+			t.charge(obs.PhaseSpawn, m.WorkerWarmup+pulls*m.UpdatePage)
+			w.warm = false
+		}
+		rt.threadMain(t, fn)
+		if !w.pooled {
+			return
+		}
+		w.pooled = false
+		rt.parkIdle(w, b)
+	}
+}
+
+// parkIdle blocks a worker between threads, with an idle-exempt block
+// reason so the real host's watchdog does not mistake a parked pool
+// worker for a stalled thread (host.IdleReasonPrefix).
+func (rt *Runtime) parkIdle(w *worker, b host.Binding) {
+	if br, ok := b.(host.BlockReasoner); ok {
+		br.SetBlockReason(fmt.Sprintf("%spooled worker w%d", host.IdleReasonPrefix, w.seq))
+	}
+	b.Block()
+}
+
+// insertWorkerLocked adds w to the free list in ascending key order.
+// Caller holds rt.mu; callers other than pre-spawn hold the token, which
+// is what makes the list order — and so each adoption — replay-stable.
+// Keys are (exit clock, tid) for exited workers and (-1, -seq) for
+// pre-spawned ones, so adoptions prefer the warmest recently-exited
+// worker and fall back to cold pre-spawned slots in creation order.
+func (rt *Runtime) insertWorkerLocked(w *worker, key [2]int64) {
+	w.key = key
+	i := len(rt.workers)
+	for i > 0 {
+		k := rt.workers[i-1].key
+		if k[0] < key[0] || (k[0] == key[0] && k[1] <= key[1]) {
+			break
+		}
+		i--
+	}
+	rt.workers = append(rt.workers, nil)
+	copy(rt.workers[i+1:], rt.workers[i:])
+	rt.workers[i] = w
+}
+
+// popWorker removes and returns the highest-keyed ready worker, or nil.
+// A worker whose task has not yet started (b still unset — possible on
+// the real host between Go and the goroutine's first instruction) is not
+// adoptable and is skipped.
+func (rt *Runtime) popWorker() *worker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := len(rt.workers) - 1; i >= 0; i-- {
+		w := rt.workers[i]
+		if w.b == nil {
+			continue
+		}
+		rt.workers = append(rt.workers[:i], rt.workers[i+1:]...)
+		return w
+	}
+	return nil
+}
+
+// drainWorkers terminates every parked worker. Called token-held by the
+// run's last exiting thread, so the simulation host's deadlock detection
+// never sees an idle worker parked forever, and Run's wait completes.
+func (rt *Runtime) drainWorkers(t *Thread) {
+	rt.mu.Lock()
+	ws := rt.workers
+	rt.workers = nil
+	var wake []host.Binding
+	for _, w := range ws {
+		w.terminate = true
+		wake = append(wake, w.b) // nil if the task has not started yet
+	}
+	rt.mu.Unlock()
+	for i, w := range ws {
+		if w.ws != nil {
+			rt.seg.Release(w.ws)
+			w.ws = nil
+		}
+		if wake[i] != nil {
+			t.b.Wake(wake[i])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package det
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/costmodel"
+	"repro/internal/host/simhost"
+)
+
+// runMisusePooled is runMisuse under the pooled scheduler lifecycle
+// (EnableScaleOut): delivery-path violations must surface the same
+// structured RuntimeErrors when grants flow to worker-hosted threads.
+func runMisusePooled(t *testing.T, prog func(api.T)) {
+	t.Helper()
+	c := Default()
+	c.SegmentSize = 1 << 20
+	c.EnableScaleOut(4, 2)
+	rt, err := New(c, simhost.New(costmodel.Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }() // tolerate panics unwinding Run
+		_ = rt.Run(prog)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("misuse scenario hung")
+	}
+}
+
+// deliverFrom's two corrupted-handoff guards, exercised under the pooled
+// lifecycle. Both fire before any thread context is established, so they
+// carry Tid -1 by contract — the error is about the grant, not a thread.
+func TestDeliverFromRuntimeErrorsPooled(t *testing.T) {
+	cases := []struct {
+		name     string
+		wantCode string
+		wantOp   string
+		detail   string
+		trigger  func(root api.T)
+	}{
+		{
+			name:     "unknown-tid",
+			wantCode: "unknown-tid",
+			wantOp:   "lookup",
+			detail:   "token grant for unknown tid 9999",
+			trigger: func(root api.T) {
+				// A grant naming a tid with no registered thread: the
+				// arbiter and the thread table have diverged.
+				dt := root.(*Thread)
+				dt.rt.deliverFrom(dt.b, 9999)
+			},
+		},
+		{
+			name:     "self-grant",
+			wantCode: "self-grant",
+			wantOp:   "deliver",
+			detail:   "token grant before any thread is running",
+			trigger: func(root api.T) {
+				// A grant with no waker binding outside setup: nobody can
+				// perform the wake, so the handoff protocol is corrupted.
+				dt := root.(*Thread)
+				dt.rt.deliverFrom(nil, dt.tid)
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runMisusePooled(t, func(root api.T) {
+				// Exercise the pool first so the violation happens with
+				// worker-hosted threads in the table, not just the root.
+				h := root.Spawn(func(t api.T) { t.Compute(100) })
+				root.Join(h)
+				re := catchRuntimeError(func() { tc.trigger(root) })
+				if re == nil {
+					t.Error("no RuntimeError surfaced")
+					return
+				}
+				if re.Code != tc.wantCode {
+					t.Errorf("Code = %q, want %q", re.Code, tc.wantCode)
+				}
+				if re.Op != tc.wantOp {
+					t.Errorf("Op = %q, want %q", re.Op, tc.wantOp)
+				}
+				if re.Tid != -1 {
+					t.Errorf("Tid = %d, want -1 (no thread context)", re.Tid)
+				}
+				if msg := re.Error(); !strings.Contains(msg, tc.detail) ||
+					!strings.Contains(msg, tc.wantCode) {
+					t.Errorf("rendered error %q missing %q or %q", msg, tc.detail, tc.wantCode)
+				}
+			})
+		})
+	}
+}

@@ -226,6 +226,50 @@ func TablePrefetch(s Sweep) (map[string]map[string]int64, string, error) {
 	return data, text, nil
 }
 
+// TableShards sweeps the scheduler scale-out trio (docs/scheduler.md):
+// sharded token arbitration with the worker pool and lazy fast-forward,
+// against the legacy single-token scheduler. Results are identical at
+// every shard count — scripts/check.sh pins the checksums and sync traces
+// byte-for-byte — so the interesting columns are the wall-time speedup
+// and how many sub-token grants stayed shard-local (the cheap re-acquire
+// path that never crosses threads).
+func TableShards(s Sweep) (map[string]map[string]int64, string, error) {
+	const threads = 8
+	benches := []string{"kmeans", "water_nsquared", "canneal", "histogram", "dedup", "ferret"}
+	shardCounts := []int{2, 4, 8}
+	data := map[string]map[string]int64{}
+	var rows [][]string
+	for _, bench := range benches {
+		base, err := Run(Options{Bench: bench, Runtime: KindConsequenceIC, Threads: threads, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, "", err
+		}
+		data[bench] = map[string]int64{"shards1": base.WallNS}
+		line := []string{bench, ms(base.WallNS)}
+		for _, n := range shardCounts {
+			res, err := Run(Options{
+				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
+				Scale: s.Scale, Seed: s.Seed, Shards: n,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			if res.Checksum != base.Checksum {
+				return nil, "", fmt.Errorf("harness: %s checksum diverged at %d shards: %x vs %x",
+					bench, n, res.Checksum, base.Checksum)
+			}
+			data[bench][fmt.Sprintf("shards%d", n)] = res.WallNS
+			line = append(line, ms(res.WallNS), fmt.Sprintf("%.2fx", float64(base.WallNS)/float64(res.WallNS)))
+		}
+		rows = append(rows, line)
+	}
+	header := []string{"benchmark", "1(ms)",
+		"2(ms)", "x", "4(ms)", "x", "8(ms)", "x"}
+	text := "Scheduler scale-out sweep (8 threads; shards >= 2 also enables the worker pool and lazy fast-forward; x = speedup vs the legacy single-token scheduler)\n" +
+		renderTable(header, rows)
+	return data, text, nil
+}
+
 // Tables maps table names to their generators (the -table CLI flag).
 var Tables = map[string]func(Sweep) (map[string]map[string]int64, string, error){
 	"polling":    TablePolling,
@@ -233,4 +277,5 @@ var Tables = map[string]func(Sweep) (map[string]map[string]int64, string, error)
 	"pagesize":   TablePageSize,
 	"lrc":        TableLRC,
 	"prefetch":   TablePrefetch,
+	"shards":     TableShards,
 }

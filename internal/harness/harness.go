@@ -49,7 +49,13 @@ type Options struct {
 	Threads int
 	Scale   int
 	Seed    int64
-	// Modify tweaks the det configuration (ablations, coarsening sweeps).
+	// Shards, when >= 2, applies the scheduler scale-out trio
+	// (det.Config.EnableScaleOut): sharded token arbitration plus the
+	// worker pool pre-spawned to Threads and lazy fast-forward. Consequence
+	// runtimes only; the cell's checksum is unchanged by construction.
+	Shards int
+	// Modify tweaks the det configuration (ablations, coarsening sweeps);
+	// it runs after Shards is applied, so it can override the trio.
 	// Only honoured by the Consequence runtimes.
 	Modify func(*det.Config)
 	// WithLRC attaches the happens-before propagation tracker
@@ -109,6 +115,7 @@ func Run(o Options) (Result, error) {
 			}
 			c.Chaos = in
 		}
+		c.EnableScaleOut(o.Shards, o.Threads)
 		if o.Modify != nil {
 			o.Modify(&c)
 		}

@@ -20,6 +20,14 @@ type Host interface {
 	Timed() bool
 }
 
+// IdleReasonPrefix marks a block reason as intentional idleness: the
+// thread is parked waiting for work (a pooled scheduler worker between
+// assignments), not stuck waiting on progress another thread owes it.
+// Hosts with stall detection exempt idle-prefixed blocks from their
+// watchdog; the simulation host still reports them in deadlock dumps,
+// since an idle thread at simulation end is a drain bug in the runtime.
+const IdleReasonPrefix = "idle: "
+
 // BlockReasoner is an optional Binding extension: hosts that implement it
 // record a human-readable description of what the thread is about to
 // block on, surfaced in failure diagnostics — the simulation host's

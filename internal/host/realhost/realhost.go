@@ -172,8 +172,12 @@ func (b *binding) Block() {
 	b.h.maybePerturb()
 	b.h.wdMu.Lock()
 	timeout := b.h.wdTimeout
+	idle := strings.HasPrefix(b.reason, host.IdleReasonPrefix)
 	b.h.wdMu.Unlock()
-	if timeout <= 0 {
+	if timeout <= 0 || idle {
+		// Idle-declared parks (pooled workers awaiting adoption) wait for
+		// work indefinitely by design; counting them as stalls would trip
+		// the watchdog on every quiet pool.
 		<-b.ch
 		return
 	}

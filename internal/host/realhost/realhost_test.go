@@ -124,3 +124,31 @@ func TestWatchdogRejectsZeroTimeout(t *testing.T) {
 	}()
 	New(0, 0).SetWatchdog(0, func(string) {})
 }
+
+// A block declared idle (host.IdleReasonPrefix — a pooled scheduler worker
+// parked between assignments) is exempt from the watchdog, even when it
+// outlasts the timeout many times over; an identical block without the
+// prefix fires. The late wake must still land either way.
+func TestWatchdogExemptsIdleParks(t *testing.T) {
+	h := New(0, 0)
+	var fires atomic.Int32
+	h.SetWatchdog(20*time.Millisecond, func(string) { fires.Add(1) })
+
+	bindings := make(chan host.Binding, 1)
+	h.Go("w0", nil, func(b host.Binding) {
+		b.(host.BlockReasoner).SetBlockReason(host.IdleReasonPrefix + "pooled worker w0")
+		bindings <- b
+		b.Block() // parked idle: waits for work, not for progress
+	})
+	h.Go("t1", nil, func(b host.Binding) {
+		target := <-bindings
+		time.Sleep(120 * time.Millisecond) // several watchdog windows
+		b.Wake(target)
+	})
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := fires.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d times on an idle-declared park", n)
+	}
+}

@@ -170,6 +170,9 @@ func phaseTotals(lanes []Lane, r *Report) {
 		tr.MergeNS = sums[obs.PhaseMerge]
 		tr.FaultNS = sums[obs.PhaseFault]
 		tr.LibNS = sums[obs.PhaseLib]
+		tr.SpawnNS = sums[obs.PhaseSpawn]
+		tr.HandoffNS = sums[obs.PhaseHandoff]
+		tr.FastForwardNS = sums[obs.PhaseFastForward]
 		tr.SpecDiffNS = sums[obs.PhaseSpecDiff]
 		tr.PrefetchNS = sums[obs.PhasePrefetch]
 		if live := tr.EndNS - tr.StartNS; live > 0 {
@@ -336,7 +339,10 @@ func whatIfCoarsen(lanes []Lane, r *Report) {
 				if d := e.End - e.Start; d > 0 && d < minCommit {
 					minCommit = d
 				}
-			case obs.PhaseLib:
+			case obs.PhaseLib, obs.PhaseSpawn, obs.PhaseHandoff, obs.PhaseFastForward:
+				// All four are runtime-library overhead (the pre-split
+				// PhaseLib); the round-cost estimate must not change with
+				// the phase refinement.
 				libNS += e.End - e.Start
 			case obs.PhaseTokenWait:
 				tokenWaitNS += e.End - e.Start

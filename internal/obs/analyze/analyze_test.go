@@ -216,7 +216,8 @@ func TestReportInvariants(t *testing.T) {
 			{"barrier-wait", total("barrier-wait"), st.BarrierWaitNS},
 			{"commit+merge", total("commit") + total("merge") + total("spec-diff"), st.CommitNS},
 			{"fault", total("fault") + total("prefetch"), st.FaultNS},
-			{"lib", total("lib"), st.LibNS},
+			{"lib", total("lib") + total("spawn") + total("handoff") +
+				total("fast-forward"), st.LibNS},
 		} {
 			if c.rep != c.stat {
 				t.Errorf("%s: report %s total %d != RunStats %d", bench, c.name, c.rep, c.stat)

@@ -30,12 +30,15 @@ import (
 var workPriority = map[obs.Phase]int{
 	obs.PhaseCommit:      0,
 	obs.PhaseLib:         1,
-	obs.PhaseFault:       2,
-	obs.PhaseMerge:       3,
-	obs.PhaseSpecDiff:    4, // like merge: commit work that runs in parallel
-	obs.PhaseCompute:     5,
-	obs.PhaseTokenWait:   6,
-	obs.PhaseBarrierWait: 7,
+	obs.PhaseHandoff:     2, // token-serialized, like the lib it split from
+	obs.PhaseSpawn:       3,
+	obs.PhaseFastForward: 4,
+	obs.PhaseFault:       5,
+	obs.PhaseMerge:       6,
+	obs.PhaseSpecDiff:    7, // like merge: commit work that runs in parallel
+	obs.PhaseCompute:     8,
+	obs.PhaseTokenWait:   9,
+	obs.PhaseBarrierWait: 10,
 }
 
 // isWait reports whether p is a blocked phase.

@@ -58,6 +58,9 @@ type ThreadReport struct {
 	MergeNS        int64   `json:"merge_ns"`
 	FaultNS        int64   `json:"fault_ns"`
 	LibNS          int64   `json:"lib_ns"`
+	SpawnNS        int64   `json:"spawn_ns"`
+	HandoffNS      int64   `json:"handoff_ns"`
+	FastForwardNS  int64   `json:"fast_forward_ns"`
 	SpecDiffNS     int64   `json:"spec_diff_ns"`
 	PrefetchNS     int64   `json:"prefetch_ns"`
 	UtilizationPct float64 `json:"utilization_pct"`

@@ -52,7 +52,8 @@ type Phase uint8
 
 // Time-category phases (span events). These refine the api.RunStats
 // breakdown: Commit, Merge and SpecDiff together are RunStats.CommitNS;
-// Fault and Prefetch together are RunStats.FaultNS.
+// Fault and Prefetch together are RunStats.FaultNS; Lib, Spawn, Handoff
+// and FastForward together are RunStats.LibNS.
 const (
 	// PhaseCompute is thread-local work: Compute instructions, memory
 	// operations, and benchmark logic between runtime entry points.
@@ -72,8 +73,11 @@ const (
 	PhaseMerge
 	// PhaseFault is copy-on-write page-fault servicing.
 	PhaseFault
-	// PhaseLib is runtime-library overhead: clock reads, counter-overflow
-	// interrupts, token handoffs, and thread fork/reuse costs.
+	// PhaseLib is residual runtime-library overhead: clock reads and
+	// counter-overflow interrupts. Token handoffs and thread fork/reuse
+	// costs, which lived here through PR 5, are now attributed to
+	// PhaseHandoff and PhaseSpawn; all four (with PhaseFastForward) fold
+	// into RunStats.LibNS so the Figure 15 breakdown is unchanged.
 	PhaseLib
 	// PhaseSpecDiff is speculative pre-token diffing: commit diff work
 	// hoisted off the serial token path into the window where the thread
@@ -88,6 +92,22 @@ const (
 	// path. The fault-servicing analogue of PhaseSpecDiff; folds into
 	// RunStats.FaultNS together with Fault.
 	PhasePrefetch
+	// PhaseSpawn is thread-creation cost on whichever thread pays it: the
+	// fork/page-table-population charge on a fresh spawn, the free-list
+	// pop + worker wake on a pooled spawn (spawner side), and the view
+	// rebind + page pulls of the adopted worker's warm-up (worker side).
+	// Splitting it out of PhaseLib lets the analyzer show how much of the
+	// critical path is spawning — the quantity the worker pool attacks.
+	// Folds into RunStats.LibNS.
+	PhaseSpawn
+	// PhaseHandoff is token-arbitration transfer cost: global token
+	// handoffs, shard-local sub-token re-acquires, and the shard-clock
+	// merges charged at cross-shard edges. Folds into RunStats.LibNS.
+	PhaseHandoff
+	// PhaseFastForward is the deferred counter-resync work a lazily
+	// fast-forwarded thread performs when it actually takes the token
+	// (§3.5, docs/scheduler.md). Folds into RunStats.LibNS.
+	PhaseFastForward
 
 	// NumTimePhases is the number of span (time-category) phases.
 	NumTimePhases
@@ -129,6 +149,9 @@ var phaseNames = map[Phase]string{
 	PhaseLib:         "lib",
 	PhaseSpecDiff:    "spec-diff",
 	PhasePrefetch:    "prefetch",
+	PhaseSpawn:       "spawn",
+	PhaseHandoff:     "handoff",
+	PhaseFastForward: "fast-forward",
 	MarkCoarsenBegin: "coarsen-begin",
 	MarkCoarsenEnd:   "coarsen-end",
 	MarkCommit:       "commit-mark",

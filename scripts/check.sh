@@ -16,6 +16,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== lintdoc (godoc coverage of internal/det)"
+go run ./scripts/lintdoc ./internal/det
+
 echo "== go build ./..."
 go build ./...
 
@@ -47,26 +50,31 @@ canneal:52afe913b556d5da:054928fab9f631f8
 histogram:09e07ed580954ecc:caafd5842fd5020b
 kmeans:1f8b09e15b1b689c:cd6c25c0a0405d2b
 "
-# Each benchmark runs twice — write-set prediction on (the default) and
-# off — and both must hit the same goldens: prediction is an overlap
-# optimization and must never move program results.
+# Each benchmark runs over the full scheduler matrix — write-set
+# prediction on (the default) and off, crossed with 1/2/4/8 arbitration
+# shards (shards >= 2 also turn on the worker pool and lazy fast-forward,
+# docs/scheduler.md) — and every cell must hit the same goldens: both are
+# overlap/scale-out optimizations and must never move program results or
+# the logical clocks in the sync trace.
 for spec in $goldens; do
     bench=${spec%%:*}
     rest=${spec#*:}
     want_sum=${rest%%:*}
     want_trace=${rest#*:}
     for predict in true false; do
-        out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -predict="$predict")
-        got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
-        got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
-        if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
-            echo "determinism gate: $bench (predict=$predict) diverged:" >&2
-            echo "  checksum $got_sum (want $want_sum)" >&2
-            echo "  trace    $got_trace (want $want_trace)" >&2
-            exit 1
-        fi
+        for shards in 1 2 4 8; do
+            out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -predict="$predict" -shards "$shards")
+            got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+            got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+            if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+                echo "determinism gate: $bench (predict=$predict shards=$shards) diverged:" >&2
+                echo "  checksum $got_sum (want $want_sum)" >&2
+                echo "  trace    $got_trace (want $want_trace)" >&2
+                exit 1
+            fi
+        done
     done
-    echo "   $bench ok (predict on+off)"
+    echo "   $bench ok (predict on+off x shards 1/2/4/8)"
 done
 
 echo "== chaos gate (golden results unmoved under fault injection)"
@@ -94,7 +102,23 @@ for spec in $goldens; do
             fi
         done
     done
-    echo "   $bench ok (3 profiles x 3 seeds)"
+    # Chaos and the scale-out trio compose: the heaviest profile must
+    # leave the goldens unmoved on the sharded scheduler too.
+    for seed in $chaos_seeds; do
+        out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -shards 4 -chaos "storm:$seed")
+        got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+        got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+        if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+            echo "chaos gate: $bench under storm:$seed at 4 shards diverged:" >&2
+            echo "  checksum $got_sum (want $want_sum)" >&2
+            echo "  trace    $got_trace (want $want_trace)" >&2
+            exit 1
+        fi
+    done
+    echo "   $bench ok (3 profiles x 3 seeds, + storm x 3 seeds at 4 shards)"
 done
+
+echo "== scheduler bench (BENCH_sched.json)"
+BENCHTIME=200x ./scripts/bench_sched.sh >/dev/null
 
 echo "check: OK"
