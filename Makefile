@@ -1,6 +1,6 @@
 # `make check` is the pre-PR gate (see README): gofmt, vet, build, test.
 
-.PHONY: check build test fmt figures chaos bench-sched
+.PHONY: check build test fmt figures chaos bench-sched diff-smoke
 
 check:
 	./scripts/check.sh
@@ -14,6 +14,12 @@ bench-sched:
 # golden benchmarks, asserting results never move (see docs/robustness.md).
 chaos:
 	./scripts/chaos_sweep.sh
+
+# Divergence-observatory smoke: journal a golden run twice (byte-identical
+# by construction), plant a swapped token grant, and let conseq-diff
+# localize it (see docs/divergence.md).
+diff-smoke:
+	./scripts/diff_smoke.sh
 
 build:
 	go build ./...

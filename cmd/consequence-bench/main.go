@@ -43,6 +43,7 @@ func main() {
 	listen := flag.String("listen", "", "serve the observed cell's live /metrics (Prometheus text format) and /debug/pprof on this address while the cell runs (e.g. :9090)")
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on the observed cell: profile[:seed] (see internal/chaos); the cell's checksum must be unchanged")
 	shards := flag.Int("shards", 1, "token-arbitration shards for the observed cell; >= 2 enables the scheduler scale-out trio (docs/scheduler.md) — results are unchanged by construction")
+	journalPath := flag.String("journal", "", "write the observed cell's divergence journal (internal/journal) to this file; compare two with conseq-diff — the cell's checksum is unchanged by construction")
 	flag.Parse()
 
 	var ths []int
@@ -90,9 +91,9 @@ func main() {
 		fmt.Println(text)
 	}
 
-	// A non-empty -chaos runs the observed cell even without a trace or
-	// listener: the printed checksum is the determinism evidence.
-	if *traceOut != "" || *listen != "" || *chaosSpec != "" {
+	// A non-empty -chaos or -journal runs the observed cell even without a
+	// trace or listener: the printed checksum is the determinism evidence.
+	if *traceOut != "" || *listen != "" || *chaosSpec != "" || *journalPath != "" {
 		o := obs.New()
 		if *listen != "" {
 			srv, err := o.ListenAndServe(*listen)
@@ -103,17 +104,21 @@ func main() {
 			fmt.Printf("serving http://%s/metrics (and /debug/pprof) for the observed cell\n", srv.Addr())
 		}
 		res, err := harness.Run(harness.Options{
-			Bench:    *traceBench,
-			Runtime:  harness.Kind(*traceRuntime),
-			Threads:  ths[0],
-			Scale:    *scale,
-			Seed:     *seed,
-			Shards:   *shards,
-			Observer: o,
-			Chaos:    *chaosSpec,
+			Bench:       *traceBench,
+			Runtime:     harness.Kind(*traceRuntime),
+			Threads:     ths[0],
+			Scale:       *scale,
+			Seed:        *seed,
+			Shards:      *shards,
+			Observer:    o,
+			Chaos:       *chaosSpec,
+			JournalPath: *journalPath,
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if *journalPath != "" {
+			fmt.Printf("journal written to %s\n", *journalPath)
 		}
 		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", *traceRuntime, *traceBench, ths[0], *scale, *seed)
 		if *traceOut != "" {

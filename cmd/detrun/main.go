@@ -12,6 +12,7 @@
 //	detrun -bench histogram -runtime pthreads       # nondeterministic ref
 //	detrun -bench ferret -trace /tmp/ferret.json    # Chrome/Perfetto trace
 //	detrun -bench ferret -metrics                   # metrics snapshot
+//	detrun -bench ferret -journal /tmp/a.csqj       # divergence journal (conseq-diff)
 //	detrun -bench ferret -analyze                   # critical-path report
 //	detrun -bench ferret -real -listen :9090        # live /metrics + pprof
 //	detrun -list
@@ -38,6 +39,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/host/realhost"
 	"repro/internal/host/simhost"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/trace"
@@ -91,6 +93,7 @@ func main() {
 	dumpTrace := flag.Int("dump-sync", 0, "dump the first N sync-order events")
 	watchdog := flag.Duration("watchdog", 0, "real-host stall watchdog: if any thread stays blocked longer than this, dump per-thread diagnostics and exit non-zero (requires -real)")
 	timeout := flag.Duration("timeout", 0, "bound the run's host wall clock: on expiry dump goroutine stacks and runtime state and exit non-zero (e.g. 30s)")
+	journalPath := flag.String("journal", "", "write the run's divergence journal (sync events, hash checkpoints, commit page hashes) to this file; compare two with conseq-diff")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listChaos := flag.Bool("list-chaos", false, "list built-in chaos profiles and exit")
 	flag.Parse()
@@ -120,10 +123,16 @@ func main() {
 	p := workload.Params{Threads: *threads, Scale: *scale, Seed: *seed}
 
 	if *verify {
+		if *journalPath != "" {
+			fatal(fmt.Errorf("-journal records a single run; use it without -verify (journal two runs and conseq-diff them instead)"))
+		}
 		runVerify(spec, p, *rtName)
 		return
 	}
 	if *compare {
+		if *journalPath != "" {
+			fatal(fmt.Errorf("-journal records a single run; use it without -compare"))
+		}
 		runCompare(spec, p)
 		return
 	}
@@ -139,6 +148,26 @@ func main() {
 	rt, err := mkRuntime(*rtName, spec.SegmentSize(p), h)
 	if err != nil {
 		fatal(err)
+	}
+	var jw *journal.Writer
+	if *journalPath != "" {
+		type journalable interface{ SetJournal(*journal.Writer) }
+		jr, ok := rt.(journalable)
+		if !ok {
+			fatal(fmt.Errorf("runtime %q does not support journaling (the consequence runtimes do)", *rtName))
+		}
+		jw, err = journal.Create(*journalPath, map[string]string{
+			"bench":   spec.Name,
+			"runtime": *rtName,
+			"threads": fmt.Sprint(*threads),
+			"scale":   fmt.Sprint(*scale),
+			"seed":    fmt.Sprint(*seed),
+			"shards":  fmt.Sprint(*shardsFlag),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		jr.SetJournal(jw)
 	}
 	var observer *obs.Observer
 	if *traceOut != "" || *metrics || *analyzeRun || *listen != "" || *sample > 0 {
@@ -164,6 +193,11 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	st := rt.Stats()
 	fmt.Printf("benchmark   %s (%s, %s)\n", spec.Name, spec.Suite, spec.Class)
 	fmt.Printf("runtime     %s, %d threads, scale %d, seed %d\n", rt.Name(), *threads, *scale, *seed)
@@ -181,6 +215,11 @@ func main() {
 	fmt.Printf("sync ops    %d (%d coarsened), token grants %d\n", st.SyncOps, st.CoarsenedOps, st.TokenGrants)
 	fmt.Printf("memory      %d versions, %d pages committed (%d merged), %d pulled, %d faults, peak %d pages\n",
 		st.Versions, st.CommittedPages, st.MergedPages, st.PulledPages, st.Faults, st.PeakPages)
+	if jw != nil {
+		js := jw.Stats()
+		fmt.Printf("journal     %s: %d events, %d commits, %d checkpoints, %d bytes (%d flush stalls)\n",
+			*journalPath, js.Events, js.Commits, js.Checkpoints, js.Bytes, js.FlushStalls)
+	}
 	if tr := traceOf(rt); tr != nil && *dumpTrace > 0 {
 		evs := tr.Events()
 		if len(evs) > *dumpTrace {

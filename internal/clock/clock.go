@@ -41,6 +41,7 @@ const (
 	PolicyRR
 )
 
+// String names the policy as it appears in runtime names ("IC", "RR").
 func (p Policy) String() string {
 	switch p {
 	case PolicyIC:

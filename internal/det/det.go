@@ -34,6 +34,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/costmodel"
 	"repro/internal/host"
+	"repro/internal/journal"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -180,6 +181,12 @@ type Config struct {
 
 	// TraceKeep bounds retained trace events (hashing always covers all).
 	TraceKeep int
+	// JournalCheckpointK is the interval, in sync-trace events, between
+	// rolling-hash checkpoints (trace.Checkpoint; 0 disables). Checkpoints
+	// are cheap in-memory snapshots of the global and per-thread hashes;
+	// with a run journal attached they are also persisted, letting
+	// conseq-diff localize a divergence in O(log n) hash probes.
+	JournalCheckpointK int64
 	// Model is the simulation cost model (ignored on untimed hosts).
 	Model costmodel.Model
 
@@ -219,10 +226,11 @@ func Default() Config {
 		// bounded reclaim per pass, so programs that churn pages faster
 		// than one collector thread can fold them retain versions — the
 		// canneal / lu_ncb memory growth of Figure 12.
-		GCPageBudget:    192,
-		GCEveryNCommits: 16,
-		TraceKeep:       4096,
-		Model:           costmodel.Default(),
+		GCPageBudget:       192,
+		GCEveryNCommits:    16,
+		TraceKeep:          4096,
+		JournalCheckpointK: 256,
+		Model:              costmodel.Default(),
 	}
 }
 
@@ -267,14 +275,15 @@ type Hooks interface {
 // Runtime is one deterministic execution context. Create with New, use
 // once via Run.
 type Runtime struct {
-	cfg   Config
-	h     host.Host
-	timed bool
-	arb   *clock.Arbiter
-	seg   *mem.Segment
-	rec   *trace.Recorder
-	hooks Hooks
-	obs   *obs.Observer
+	cfg     Config
+	h       host.Host
+	timed   bool
+	arb     *clock.Arbiter
+	seg     *mem.Segment
+	rec     *trace.Recorder
+	hooks   Hooks
+	obs     *obs.Observer
+	journal *journal.Writer
 
 	mu      sync.Mutex // guards threads map, pool and workers
 	threads map[int]*Thread
@@ -359,6 +368,9 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 		rec:          trace.New(cfg.TraceKeep),
 		threads:      make(map[int]*Thread),
 		lastCoordTid: -1,
+	}
+	if cfg.JournalCheckpointK > 0 {
+		rt.rec.SetCheckpointInterval(cfg.JournalCheckpointK)
 	}
 	if cfg.SingleGlobalLock {
 		rt.globalMutex = &dMutex{id: 1, owner: -1}
@@ -467,6 +479,46 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	r.Func("det_determ_wait_ns", aggFunc(func(s api.RunStats) int64 { return s.DetermWaitNS }))
 	r.Func("det_barrier_wait_ns", aggFunc(func(s api.RunStats) int64 { return s.BarrierWaitNS }))
 	r.Func("det_commit_ns", aggFunc(func(s api.RunStats) int64 { return s.CommitNS }))
+	rt.registerJournalMetrics()
+}
+
+// SetJournal attaches a run journal; must be called before Run (nil
+// detaches). Every sync-trace event and interval checkpoint streams to the
+// writer through the trace sink, and both commit sites record each
+// published version's page-set with per-page content hashes
+// (docs/divergence.md). Journaling never changes results — checksums and
+// sync traces are byte-identical with the journal on or off, which
+// scripts/check.sh gates. The caller owns the writer and must Close it
+// after Run to flush.
+func (rt *Runtime) SetJournal(w *journal.Writer) {
+	if rt.started {
+		panic("det: SetJournal after Run")
+	}
+	rt.journal = w
+	if w == nil {
+		rt.rec.SetSink(nil)
+		return
+	}
+	rt.rec.SetSink(w)
+	rt.registerJournalMetrics()
+}
+
+// registerJournalMetrics exposes journal_* func gauges once both an
+// observer and a journal are attached (either attach order works:
+// SetObserver and SetJournal both call this).
+func (rt *Runtime) registerJournalMetrics() {
+	if rt.obs == nil || rt.journal == nil {
+		return
+	}
+	r := rt.obs.Registry()
+	jFunc := func(f func(journal.Stats) int64) func() int64 {
+		return func() int64 { return f(rt.journal.Stats()) }
+	}
+	r.Func("journal_events", jFunc(func(s journal.Stats) int64 { return s.Events }))
+	r.Func("journal_commits", jFunc(func(s journal.Stats) int64 { return s.Commits }))
+	r.Func("journal_checkpoints", jFunc(func(s journal.Stats) int64 { return s.Checkpoints }))
+	r.Func("journal_bytes", jFunc(func(s journal.Stats) int64 { return s.Bytes }))
+	r.Func("journal_flush_stalls", jFunc(func(s journal.Stats) int64 { return s.FlushStalls }))
 }
 
 // Observer returns the attached observability layer, or nil.

@@ -45,14 +45,15 @@ func TestScaleOutMatchesLegacy(t *testing.T) {
 						t.Errorf("scale-out trace hash %x != legacy %x\n%s",
 							h1, h0, trace.Diff(rec0, rec1))
 					}
-					// Adoption is guaranteed only on the simulation host: on
-					// the real host a pre-spawned worker whose goroutine has
-					// not yet reached its first park is not adoptable
-					// (popWorker skips it), so reuse there is best-effort.
-					if hm.name == "sim" {
-						if reused := rt1.Stats().ThreadsReused; reused == 0 {
-							t.Error("worker pool never engaged: ThreadsReused = 0")
-						}
+					// Adoption is guaranteed on every host: the started-gate
+					// lets popWorker hand out even a pre-spawned worker whose
+					// goroutine has not reached its first park (the adopter
+					// assigns next under rt.mu and skips the wake; the
+					// worker's startup sees the assignment and skips the
+					// park), so with the pool pre-spawned to the thread count
+					// no spawn ever falls back to a fresh fork.
+					if reused := rt1.Stats().ThreadsReused; reused == 0 {
+						t.Error("worker pool never engaged: ThreadsReused = 0")
 					}
 				})
 			}
@@ -107,6 +108,32 @@ func TestPrespawnedWorkersDrain(t *testing.T) {
 	sum1, _, _ := run(t, c, simhost.New(costmodel.Default()), counterProg(2, 10))
 	if sum1 != sum0 {
 		t.Errorf("checksum %x != legacy %x", sum1, sum0)
+	}
+}
+
+// Started-gate regression (ISSUE 7): on the real host, spawns race the
+// pre-spawned workers' goroutine startup — before the gate, popWorker
+// skipped workers whose binding was unset and the spawn fell back to a
+// fresh fork. With the gate, every spawn must adopt a pooled worker when
+// the pool was pre-spawned to cover them, no matter how early the spawns
+// happen, and results must match the legacy runtime byte for byte.
+func TestStartedGateRecoversPrespawnedWorkers(t *testing.T) {
+	prog := counterProg(4, 5) // root spawns immediately: maximal startup race
+	sum0, rec0, _ := run(t, cfg(), realhost.New(0, 0), prog)
+	for i := 0; i < 20; i++ { // the race is wall-clock timing: many attempts
+		sum1, rec1, rt1 := run(t, scaleOutCfg(2, 4), realhost.New(0, 0), prog)
+		if sum1 != sum0 {
+			t.Fatalf("attempt %d: checksum %x != legacy %x", i, sum1, sum0)
+		}
+		if rec1.Hash() != rec0.Hash() {
+			t.Fatalf("attempt %d: trace hash %x != legacy %x\n%s",
+				i, rec1.Hash(), rec0.Hash(), trace.Diff(rec0, rec1))
+		}
+		st := rt1.Stats()
+		if st.ThreadsReused != st.ThreadsSpawned {
+			t.Fatalf("attempt %d: %d of %d spawns adopted a pooled worker; the started-gate must recover them all",
+				i, st.ThreadsReused, st.ThreadsSpawned)
+		}
 	}
 }
 

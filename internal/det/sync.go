@@ -265,6 +265,7 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 		pc := t.ws.BeginCommit()
 		st := pc.Stats()
 		t.chargeCommitSerial(st)
+		t.journalCommit(pc.Version())
 		if h := t.rt.hooks; h != nil {
 			h.OnCommit(t.tid, pc.Version())
 			h.OnRelease(t.tid, bar.id) // entry edge: after the commit

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/host"
+	"repro/internal/journal"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -609,6 +610,7 @@ func (t *Thread) commitAndUpdate() {
 	pc := t.ws.BeginCommit()
 	st := pc.Stats()
 	t.chargeCommitSerial(st)
+	t.journalCommit(pc.Version())
 	pc.Complete()
 	t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
 	t.mark(obs.MarkCommit, int64(st.CommittedPages))
@@ -629,6 +631,30 @@ func (t *Thread) commitAndUpdate() {
 // record emits a trace event at the thread's current clock.
 func (t *Thread) record(op trace.Op, obj uint64) {
 	t.rt.rec.Record(t.tid, op, obj, t.icount)
+}
+
+// journalCommit records a just-published version's page content hashes in
+// the run journal (no-op without one, or for empty commits). Called
+// token-held immediately after BeginCommit, so the version number and the
+// event-order position (AtSeq) are replay-stable; hashing forces early
+// slot resolution, which mem documents as idempotent and
+// order-independent, so results are unchanged.
+func (t *Thread) journalCommit(v *mem.Version) {
+	jw := t.rt.journal
+	if jw == nil || v == nil {
+		return
+	}
+	c := journal.Commit{
+		AtSeq:   t.rt.rec.Len(),
+		Version: v.Num,
+		Tid:     t.tid,
+		Clock:   t.icount,
+	}
+	c.Pages = make([]journal.PageHash, 0, len(v.Pages))
+	v.ForEachPageHash(func(pg int, h uint64) {
+		c.Pages = append(c.Pages, journal.PageHash{Page: pg, Hash: h})
+	})
+	jw.RecordCommit(c)
 }
 
 // Sync-site kinds, composed with the operation's object id into the

@@ -36,6 +36,7 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 	var child *Thread
 	reused := false
 	var adopted *worker
+	var adoptedB host.Binding
 	if rt.cfg.WorkerPool {
 		if w := rt.popWorker(); w != nil {
 			// Adopt a parked worker (docs/scheduler.md): the spawner pays
@@ -66,9 +67,18 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 			t.charge(obs.PhaseSpawn, m.PoolWorkerWake)
 			child = rt.attachThread(tid, t.icount, ws)
 			child.worker = w
+			head := rt.seg.Head()
+			// Assign under rt.mu: the started-gate. If the worker's task has
+			// not started yet (b unset), its startup section — ordered by the
+			// same mutex — sees next assigned and skips its initial park; no
+			// wake is sent (there is no binding to wake). Otherwise the wake
+			// below pairs with the worker's park as usual.
+			rt.mu.Lock()
 			w.next, w.fn = child, fn
-			w.head = rt.seg.Head()
+			w.head = head
 			w.warm, w.warmPulls = true, warmPulls
+			adoptedB = w.b
+			rt.mu.Unlock()
 			adopted = w
 			reused = true
 		} else {
@@ -111,7 +121,9 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 	}
 	switch {
 	case adopted != nil:
-		t.b.Wake(adopted.b)
+		if adoptedB != nil {
+			t.b.Wake(adoptedB)
+		}
 	case rt.cfg.WorkerPool:
 		rt.spawnWorker(child, fn, t.b)
 	default:

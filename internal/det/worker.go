@@ -18,10 +18,13 @@ import (
 // it every modeled charge — is replay-stable.
 //
 // Field ownership: b is written once by the worker under rt.mu;
-// next/fn/head/warm/warmPulls/terminate are written by the adopting (or
-// draining) thread before its wake and read by the worker after its park,
-// ordered by the wake permit; pooled is only ever touched from the
-// worker's own goroutine (exit runs on it).
+// next/fn/head/warm/warmPulls are written by the adopting thread under
+// rt.mu and read by the worker either in its startup section (same mutex
+// — the started-gate for adoptions that land before the task starts) or
+// after its park, ordered by the wake permit; terminate is written by the
+// draining thread and read after a park or in the startup section;
+// pooled is only ever touched from the worker's own goroutine (exit runs
+// on it).
 type worker struct {
 	seq int
 	b   host.Binding
@@ -80,6 +83,11 @@ func (rt *Runtime) runWorker(w *worker, b host.Binding) {
 	rt.mu.Lock()
 	w.b = b
 	term := w.terminate
+	// Started-gate: an adoption that happened before this task started
+	// (real host, between Go and here) assigned next under rt.mu and saw
+	// b == nil, so it sent no wake — this task must skip its initial park
+	// or it would sleep forever.
+	early := w.next != nil
 	rt.mu.Unlock()
 	if term {
 		return
@@ -88,13 +96,14 @@ func (rt *Runtime) runWorker(w *worker, b host.Binding) {
 	if w.selfCharge && rt.timed {
 		b.Charge(m.ForkBase + int64(rt.seg.PopulatedPages())*m.ForkPerPage)
 	}
-	if w.selfCharge {
-		// A pre-spawned worker always parks once before its first thread,
-		// even if an adoption already assigned next while this task was
-		// still paying its creation charge: the adopter has sent a wake,
-		// and skipping the park would leave that permit armed to spuriously
-		// release the thread's next real block. (A fresh-spawn worker has
-		// next pre-assigned and no wake pending, so it must not park.)
+	if w.selfCharge && !early {
+		// A pre-spawned worker parks once before its first thread, even if
+		// an adoption assigned next after this task started but before it
+		// parked: that adopter saw b set and sent a wake, and skipping the
+		// park would leave the permit armed to spuriously release the
+		// thread's next real block. (A fresh-spawn worker has next
+		// pre-assigned and no wake pending, so it must not park; neither
+		// must an early-adopted pre-spawned worker — see above.)
 		rt.parkIdle(w, b)
 	}
 	for {
@@ -159,22 +168,24 @@ func (rt *Runtime) insertWorkerLocked(w *worker, key [2]int64) {
 	rt.workers[i] = w
 }
 
-// popWorker removes and returns the highest-keyed ready worker, or nil.
-// A worker whose task has not yet started (b still unset — possible on
-// the real host between Go and the goroutine's first instruction) is not
-// adoptable and is skipped.
+// popWorker removes and returns the highest-keyed worker, or nil. Even a
+// worker whose task has not yet started (b still unset — possible on the
+// real host between Go and the goroutine's first instruction) is
+// adoptable: the adopter assigns next under rt.mu (started-gate) and the
+// worker's startup, ordered by the same mutex, sees the assignment and
+// skips its initial park instead of requiring a wake. Adoption therefore
+// never races with startup, and the pop — the token-held placement
+// decision — is replay-stable by list position alone.
 func (rt *Runtime) popWorker() *worker {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for i := len(rt.workers) - 1; i >= 0; i-- {
-		w := rt.workers[i]
-		if w.b == nil {
-			continue
-		}
-		rt.workers = append(rt.workers[:i], rt.workers[i+1:]...)
-		return w
+	n := len(rt.workers)
+	if n == 0 {
+		return nil
 	}
-	return nil
+	w := rt.workers[n-1]
+	rt.workers = rt.workers[:n-1]
+	return w
 }
 
 // drainWorkers terminates every parked worker. Called token-held by the

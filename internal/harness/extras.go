@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/det"
+	"repro/internal/obs"
 )
 
 // Supplementary studies beyond the paper's numbered figures: ablations of
@@ -247,9 +248,12 @@ func TableShards(s Sweep) (map[string]map[string]int64, string, error) {
 		data[bench] = map[string]int64{"shards1": base.WallNS}
 		line := []string{bench, ms(base.WallNS)}
 		for _, n := range shardCounts {
+			// A fresh observer per cell: attaching never changes the result,
+			// and the clock_shard_* gauges read this run's arbiter alone.
+			o := obs.New()
 			res, err := Run(Options{
 				Bench: bench, Runtime: KindConsequenceIC, Threads: threads,
-				Scale: s.Scale, Seed: s.Seed, Shards: n,
+				Scale: s.Scale, Seed: s.Seed, Shards: n, Observer: o,
 			})
 			if err != nil {
 				return nil, "", err
@@ -258,16 +262,39 @@ func TableShards(s Sweep) (map[string]map[string]int64, string, error) {
 				return nil, "", fmt.Errorf("harness: %s checksum diverged at %d shards: %x vs %x",
 					bench, n, res.Checksum, base.Checksum)
 			}
+			locals, transfers := shardCounters(o)
 			data[bench][fmt.Sprintf("shards%d", n)] = res.WallNS
-			line = append(line, ms(res.WallNS), fmt.Sprintf("%.2fx", float64(base.WallNS)/float64(res.WallNS)))
+			data[bench][fmt.Sprintf("locals%d", n)] = locals
+			data[bench][fmt.Sprintf("transfers%d", n)] = transfers
+			local := "-"
+			if tot := locals + transfers; tot > 0 {
+				local = fmt.Sprintf("%.1f%%", 100*float64(locals)/float64(tot))
+			}
+			line = append(line, ms(res.WallNS),
+				fmt.Sprintf("%.2fx", float64(base.WallNS)/float64(res.WallNS)), local)
 		}
 		rows = append(rows, line)
 	}
 	header := []string{"benchmark", "1(ms)",
-		"2(ms)", "x", "4(ms)", "x", "8(ms)", "x"}
-	text := "Scheduler scale-out sweep (8 threads; shards >= 2 also enables the worker pool and lazy fast-forward; x = speedup vs the legacy single-token scheduler)\n" +
+		"2(ms)", "x", "local", "4(ms)", "x", "local", "8(ms)", "x", "local"}
+	text := "Scheduler scale-out sweep (8 threads; shards >= 2 also enables the worker pool and lazy fast-forward; x = speedup vs the legacy single-token scheduler; local = shard-local re-acquires / (re-acquires + cross-shard transfers))\n" +
 		renderTable(header, rows)
 	return data, text, nil
+}
+
+// shardCounters reads the sharded arbiter's sub-token traffic split from
+// an observer attached to one finished cell: grants that stayed on the
+// cheap shard-local re-acquire path vs grants that crossed shards.
+func shardCounters(o *obs.Observer) (locals, transfers int64) {
+	for _, s := range o.Registry().Snapshot() {
+		switch s.Name {
+		case "clock_shard_local_reacquires":
+			locals = s.Value
+		case "clock_shard_transfers":
+			transfers = s.Value
+		}
+	}
+	return locals, transfers
 }
 
 // Tables maps table names to their generators (the -table CLI flag).

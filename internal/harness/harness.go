@@ -20,6 +20,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/det"
 	"repro/internal/host/simhost"
+	"repro/internal/journal"
 	"repro/internal/lrc"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -70,6 +71,14 @@ type Options struct {
 	// only; a fresh injector is built per run, so identical options replay
 	// identically — and the cell's checksum is unchanged by construction.
 	Chaos string
+	// JournalPath, when non-empty, writes the run's divergence journal
+	// (internal/journal: every sync event, interval hash checkpoints, and
+	// each commit's page hashes) to this file. Consequence runtimes only.
+	// Journaling is observation off the token critical path: the cell's
+	// checksum and sync trace are identical with it on or off, and two
+	// identical cells write byte-identical journals — scripts/check.sh
+	// asserts both.
+	JournalPath string
 }
 
 // Result is one run's outcome.
@@ -81,8 +90,9 @@ type Result struct {
 	LRCPages int64
 }
 
-// Run executes one configuration on a fresh simulation host.
-func Run(o Options) (Result, error) {
+// Run executes one configuration on a fresh simulation host. (Named
+// results so the deferred journal close can surface its error.)
+func Run(o Options) (res Result, retErr error) {
 	spec, err := workload.ByName(o.Bench)
 	if err != nil {
 		return Result{}, err
@@ -96,6 +106,9 @@ func Run(o Options) (Result, error) {
 	h := simhost.New(model)
 	if o.Chaos != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
 		return Result{}, fmt.Errorf("harness: chaos injection requires a consequence runtime (got %s)", o.Runtime)
+	}
+	if o.JournalPath != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
+		return Result{}, fmt.Errorf("harness: journaling requires a consequence runtime (got %s)", o.Runtime)
 	}
 
 	var rt api.Runtime
@@ -130,6 +143,25 @@ func Run(o Options) (Result, error) {
 		if o.Observer != nil {
 			drt.SetObserver(o.Observer)
 		}
+		if o.JournalPath != "" {
+			jw, err := journal.Create(o.JournalPath, map[string]string{
+				"bench":   o.Bench,
+				"runtime": string(o.Runtime),
+				"threads": fmt.Sprint(o.Threads),
+				"scale":   fmt.Sprint(o.Scale),
+				"seed":    fmt.Sprint(o.Seed),
+				"shards":  fmt.Sprint(max(o.Shards, 1)),
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			drt.SetJournal(jw)
+			defer func() {
+				if cerr := jw.Close(); cerr != nil && retErr == nil {
+					retErr = fmt.Errorf("harness: closing journal: %w", cerr)
+				}
+			}()
+		}
 		rt = drt
 	case KindDThreads:
 		rt, err = dthreads.New(dthreads.Config{SegmentSize: segSize, Model: model}, h)
@@ -148,7 +180,7 @@ func Run(o Options) (Result, error) {
 	if err := rt.Run(spec.Prog(p)); err != nil {
 		return Result{}, fmt.Errorf("%s on %s (t=%d): %w", o.Bench, o.Runtime, o.Threads, err)
 	}
-	res := Result{
+	res = Result{
 		Opts:     o,
 		Stats:    rt.Stats(),
 		Checksum: rt.Checksum(),

@@ -1,10 +1,14 @@
 package harness
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/det"
+	"repro/internal/journal"
 )
 
 func TestRunIsDeterministic(t *testing.T) {
@@ -98,6 +102,50 @@ func TestModifyAppliesToConsequenceOnly(t *testing.T) {
 	}
 	if called {
 		t.Error("Modify applied to a non-consequence runtime")
+	}
+}
+
+// JournalPath must attach the divergence journal without changing the
+// cell's result, write byte-identical journals for identical options,
+// and refuse non-consequence runtimes.
+func TestJournalPathOption(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{Bench: "word_count", Runtime: KindConsequenceIC, Threads: 4, Scale: 1, Seed: 9}
+	plain, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj := o
+	oj.JournalPath = filepath.Join(dir, "a.csqj")
+	a, err := Run(oj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != plain.Checksum || a.WallNS != plain.WallNS {
+		t.Fatalf("journaling perturbed the cell: sum %x vs %x, wall %d vs %d",
+			a.Checksum, plain.Checksum, a.WallNS, plain.WallNS)
+	}
+	oj.JournalPath = filepath.Join(dir, "b.csqj")
+	if _, err := Run(oj); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(filepath.Join(dir, "a.csqj"))
+	bb, _ := os.ReadFile(filepath.Join(dir, "b.csqj"))
+	if len(ba) == 0 || !bytes.Equal(ba, bb) {
+		t.Fatalf("identical cells wrote different journal bytes (%d vs %d)", len(ba), len(bb))
+	}
+	d, err := journal.Load(filepath.Join(dir, "a.csqj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta["bench"] != "word_count" || d.Meta["threads"] != "4" {
+		t.Fatalf("journal meta incomplete: %v", d.Meta)
+	}
+	if _, err := Run(Options{
+		Bench: "histogram", Runtime: KindPthreads, Threads: 2,
+		JournalPath: filepath.Join(dir, "p.csqj"),
+	}); err == nil {
+		t.Error("journaling accepted on a non-consequence runtime")
 	}
 }
 

@@ -1,0 +1,52 @@
+package journal
+
+import "repro/internal/trace"
+
+// RecomputeCheckpoints rebuilds d.Checkpoints from d.Events at the same
+// interval as the existing checkpoints (no-op when the journal has none).
+// Use after editing a decoded journal (e.g. conseq-diff's perturb modes)
+// to keep it internally consistent: Diff's checkpoint probe assumes a
+// journal's checkpoints are true prefix hashes of its events, which holds
+// for every journal the runtime writes.
+func RecomputeCheckpoints(d *Data) {
+	if len(d.Checkpoints) == 0 {
+		return
+	}
+	k := d.Checkpoints[0].Seq
+	if k <= 0 {
+		return
+	}
+	r := trace.New(1)
+	r.SetCheckpointInterval(k)
+	for _, e := range d.Events {
+		r.Record(e.Tid, e.Op, e.Obj, e.Clock)
+	}
+	d.Checkpoints = r.Checkpoints()
+}
+
+// WriteFile re-encodes a decoded journal to path, interleaving commits and
+// checkpoints back into the event order (a commit with AtSeq m and a
+// checkpoint with Seq m both precede the event with Seq m).
+func WriteFile(path string, d *Data) error {
+	w, err := Create(path, d.Meta)
+	if err != nil {
+		return err
+	}
+	ci, ki := 0, 0
+	emit := func(upto int64) {
+		for ci < len(d.Commits) && d.Commits[ci].AtSeq <= upto {
+			w.RecordCommit(d.Commits[ci])
+			ci++
+		}
+		for ki < len(d.Checkpoints) && d.Checkpoints[ki].Seq <= upto {
+			w.RecordCheckpoint(d.Checkpoints[ki])
+			ki++
+		}
+	}
+	for _, e := range d.Events {
+		emit(e.Seq)
+		w.RecordEvent(e)
+	}
+	emit(1 << 62)
+	return w.Close()
+}

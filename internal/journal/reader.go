@@ -1,0 +1,267 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// Decode sanity caps: a record claiming more elements than these is
+// corrupt (they bound allocation when fuzzing truncated/garbage inputs).
+const (
+	maxString  = 1 << 20
+	maxPages   = 1 << 24
+	maxThreads = 1 << 20
+	maxMeta    = 1 << 16
+)
+
+// ErrTruncated reports a journal that ends mid-record — typically a run
+// that was killed before Close.
+var ErrTruncated = errors.New("journal: truncated")
+
+// Data is a fully decoded journal.
+type Data struct {
+	Meta        map[string]string
+	Events      []trace.Event
+	Commits     []Commit
+	Checkpoints []trace.Checkpoint
+}
+
+// Load reads and decodes the journal file at path.
+func Load(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	d, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Decode reads a journal stream. It fails with ErrTruncated (wrapped) when
+// the stream ends mid-record and a descriptive error on corrupt framing.
+func Decode(r io.Reader) (*Data, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("reading header: %w", truncated(err))
+	}
+	for i := 0; i < 4; i++ {
+		if hdr[i] != magic[i] {
+			return nil, fmt.Errorf("bad magic %q", hdr[:4])
+		}
+	}
+	if hdr[4] != magic[4] {
+		return nil, fmt.Errorf("unsupported journal version %d", hdr[4])
+	}
+	d := &Data{Meta: map[string]string{}}
+	rec := 0
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", rec, err)
+		}
+		switch kind {
+		case kindMeta:
+			err = decodeMeta(br, d)
+		case kindEvent:
+			err = decodeEvent(br, d)
+		case kindCommit:
+			err = decodeCommit(br, d)
+		case kindCheckpoint:
+			err = decodeCheckpoint(br, d)
+		default:
+			return nil, fmt.Errorf("record %d: unknown kind 0x%02x", rec, kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record %d (kind 0x%02x): %w", rec, kind, err)
+		}
+		rec++
+	}
+}
+
+// truncated maps io.EOF/io.ErrUnexpectedEOF inside a record to
+// ErrTruncated while preserving other errors.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, truncated(err)
+	}
+	return v, nil
+}
+
+func readHash(br *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return 0, truncated(err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("string length %d exceeds cap", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", truncated(err)
+	}
+	return string(b), nil
+}
+
+func decodeMeta(br *bufio.Reader, d *Data) error {
+	n, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > maxMeta {
+		return fmt.Errorf("meta count %d exceeds cap", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := readString(br)
+		if err != nil {
+			return err
+		}
+		v, err := readString(br)
+		if err != nil {
+			return err
+		}
+		d.Meta[k] = v
+	}
+	return nil
+}
+
+func decodeEvent(br *bufio.Reader, d *Data) error {
+	seq, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	tid, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	code, err := br.ReadByte()
+	if err != nil {
+		return truncated(err)
+	}
+	var op trace.Op
+	if code == 0 {
+		s, err := readString(br)
+		if err != nil {
+			return err
+		}
+		op = trace.Op(s)
+	} else {
+		var ok bool
+		op, ok = opNames[code]
+		if !ok {
+			return fmt.Errorf("unknown opcode %d", code)
+		}
+	}
+	obj, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	clock, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	d.Events = append(d.Events, trace.Event{
+		Seq: int64(seq), Tid: int(tid), Op: op, Obj: obj, Clock: int64(clock),
+	})
+	return nil
+}
+
+func decodeCommit(br *bufio.Reader, d *Data) error {
+	var vals [5]uint64
+	for i := range vals {
+		v, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	npages := vals[4]
+	if npages > maxPages {
+		return fmt.Errorf("page count %d exceeds cap", npages)
+	}
+	c := Commit{
+		AtSeq:   int64(vals[0]),
+		Version: int64(vals[1]),
+		Tid:     int(vals[2]),
+		Clock:   int64(vals[3]),
+	}
+	if npages > 0 {
+		c.Pages = make([]PageHash, 0, min(npages, 4096))
+	}
+	for i := uint64(0); i < npages; i++ {
+		pg, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		h, err := readHash(br)
+		if err != nil {
+			return err
+		}
+		c.Pages = append(c.Pages, PageHash{Page: int(pg), Hash: h})
+	}
+	d.Commits = append(d.Commits, c)
+	return nil
+}
+
+func decodeCheckpoint(br *bufio.Reader, d *Data) error {
+	seq, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	hash, err := readHash(br)
+	if err != nil {
+		return err
+	}
+	n, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > maxThreads {
+		return fmt.Errorf("thread count %d exceeds cap", n)
+	}
+	c := trace.Checkpoint{Seq: int64(seq), Hash: hash}
+	if n > 0 {
+		c.Threads = make([]trace.ThreadHash, 0, min(n, 4096))
+	}
+	for i := uint64(0); i < n; i++ {
+		tid, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		h, err := readHash(br)
+		if err != nil {
+			return err
+		}
+		c.Threads = append(c.Threads, trace.ThreadHash{Tid: int(tid), Hash: h})
+	}
+	d.Checkpoints = append(d.Checkpoints, c)
+	return nil
+}

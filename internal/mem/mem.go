@@ -131,6 +131,22 @@ func (v *Version) PageIndexes() []int {
 	return idx
 }
 
+// ForEachPageHash calls f with an FNV-1a content hash of every page this
+// version modified, in ascending page order. It forces resolution of any
+// still-pending slots, which is safe anywhere (resolve is idempotent and
+// order-independent); the run journal uses it to record per-commit page
+// hashes at publication time.
+func (v *Version) ForEachPageHash(f func(page int, hash uint64)) {
+	for _, slot := range v.slots {
+		data := slot.resolve()
+		h := uint64(14695981039346656037) // FNV-1a offset basis
+		for _, b := range data {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		f(slot.page, h)
+	}
+}
+
 // pageSlot is the unit of the per-page merge chain. prev points at the slot
 // holding the page's content as of the previous version touching it (nil
 // means the segment base table / zero page). data is filled in during

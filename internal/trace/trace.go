@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -38,8 +39,37 @@ type Event struct {
 	Clock int64  // acting thread's logical clock
 }
 
+// String renders the event in the one-line form used by Dump and the
+// divergence reports.
 func (e Event) String() string {
 	return fmt.Sprintf("%06d t%02d %-9s obj=%d clk=%d", e.Seq, e.Tid, e.Op, e.Obj, e.Clock)
+}
+
+// ThreadHash pairs a thread id with its rolling per-thread hash.
+type ThreadHash struct {
+	Tid  int
+	Hash uint64
+}
+
+// Checkpoint summarizes a prefix of the event stream: after the first Seq
+// events, the global rolling hash is Hash and each thread's rolling hash
+// (over only its own events) is listed in Threads, ascending by tid.
+// Comparing the checkpoints of two runs localizes the first divergent
+// interval in O(log n) hash probes without retaining full event history.
+type Checkpoint struct {
+	Seq     int64
+	Hash    uint64
+	Threads []ThreadHash
+}
+
+// Sink receives a copy of every recorded event and every interval
+// checkpoint, in order. Calls are made while the recorder's lock is held:
+// implementations must be fast, must not block indefinitely, and must not
+// call back into the Recorder. The run journal (internal/journal) is the
+// canonical sink.
+type Sink interface {
+	RecordEvent(e Event)
+	RecordCheckpoint(c Checkpoint)
 }
 
 // Recorder accumulates events and a rolling FNV-1a hash of their canonical
@@ -52,13 +82,44 @@ type Recorder struct {
 	hash   uint64
 	// keep bounds memory when recording long runs
 	keep int
+
+	perThread   map[int]uint64 // rolling hash over each thread's own events
+	interval    int64          // checkpoint every interval events (0 = off)
+	checkpoints []Checkpoint
+	sink        Sink
 }
 
 // New creates a recorder. keep bounds how many events are retained for
 // inspection (0 = all); the hash always covers every event.
 func New(keep int) *Recorder {
 	h := fnv.New64a()
-	return &Recorder{hash: h.Sum64(), keep: keep}
+	return &Recorder{hash: h.Sum64(), keep: keep, perThread: make(map[int]uint64)}
+}
+
+// SetCheckpointInterval enables interval checkpoints: after every k events
+// the recorder snapshots the global and per-thread rolling hashes
+// (Checkpoints). k <= 0 disables. Must be called before the first Record;
+// changing it mid-run would make checkpoint sequences incomparable.
+func (r *Recorder) SetCheckpointInterval(k int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.interval = k
+}
+
+// CheckpointInterval reports the configured checkpoint interval.
+func (r *Recorder) CheckpointInterval() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interval
+}
+
+// SetSink installs s to receive every subsequent event and checkpoint.
+// Pass nil to detach. Must be set before the run starts for the sink to
+// see the full stream.
+func (r *Recorder) SetSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
 }
 
 // Record appends an event, assigning its sequence number.
@@ -68,9 +129,57 @@ func (r *Recorder) Record(tid int, op Op, obj uint64, clock int64) {
 	e := Event{Seq: r.seq, Tid: tid, Op: op, Obj: obj, Clock: clock}
 	r.seq++
 	r.hash = mix(r.hash, e)
+	th, ok := r.perThread[tid]
+	if !ok {
+		th = fnvOffset
+	}
+	r.perThread[tid] = mix(th, e)
 	if r.keep == 0 || len(r.events) < r.keep {
 		r.events = append(r.events, e)
 	}
+	if r.sink != nil {
+		r.sink.RecordEvent(e)
+	}
+	if r.interval > 0 && r.seq%r.interval == 0 {
+		c := r.checkpointLocked()
+		r.checkpoints = append(r.checkpoints, c)
+		if r.sink != nil {
+			r.sink.RecordCheckpoint(c)
+		}
+	}
+}
+
+// fnvOffset is the FNV-1a 64-bit offset basis; per-thread hashes start
+// from it so a thread's hash is itself a valid FNV-1a chain.
+const fnvOffset = 14695981039346656037
+
+// checkpointLocked snapshots the current hashes. Caller holds r.mu.
+func (r *Recorder) checkpointLocked() Checkpoint {
+	tids := make([]int, 0, len(r.perThread))
+	for tid := range r.perThread {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	ths := make([]ThreadHash, len(tids))
+	for i, tid := range tids {
+		ths[i] = ThreadHash{Tid: tid, Hash: r.perThread[tid]}
+	}
+	return Checkpoint{Seq: r.seq, Hash: r.hash, Threads: ths}
+}
+
+// Checkpoints returns the interval checkpoints taken so far.
+func (r *Recorder) Checkpoints() []Checkpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Checkpoint(nil), r.checkpoints...)
+}
+
+// ThreadHashes returns the current per-thread rolling hashes, ascending
+// by tid.
+func (r *Recorder) ThreadHashes() []ThreadHash {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checkpointLocked().Threads
 }
 
 // mix folds an event into the rolling hash. Clock values are included:

@@ -16,8 +16,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== lintdoc (godoc coverage of internal/det)"
-go run ./scripts/lintdoc ./internal/det
+echo "== lintdoc (godoc coverage of internal/det, internal/clock, internal/trace)"
+go run ./scripts/lintdoc ./internal/det ./internal/clock ./internal/trace
 
 echo "== go build ./..."
 go build ./...
@@ -37,8 +37,11 @@ go test -run=NONE -bench=. -benchtime=1x ./internal/mem >/dev/null
 echo "== determinism gate (final memory + sync-trace hashes vs goldens)"
 # The gate (and the chaos gate below) run detrun many times: build it once.
 detrun_bin=$(mktemp -t detrun.XXXXXX)
-trap 'rm -f "$detrun_bin"' EXIT
+conseq_diff_bin=$(mktemp -t conseqdiff.XXXXXX)
+journal_dir=$(mktemp -d -t journals.XXXXXX)
+trap 'rm -f "$detrun_bin" "$conseq_diff_bin"; rm -rf "$journal_dir"' EXIT
 go build -o "$detrun_bin" ./cmd/detrun
+go build -o "$conseq_diff_bin" ./cmd/conseq-diff
 
 # benchmark:checksum:tracehash at t=8 scale=1 seed=42 on the simulation
 # host. These pin program results, not timings: perf work must never move
@@ -117,6 +120,71 @@ for spec in $goldens; do
     done
     echo "   $bench ok (3 profiles x 3 seeds, + storm x 3 seeds at 4 shards)"
 done
+
+echo "== journal gate (journaling invisible; conseq-diff pinpoints planted divergences)"
+# Journaling is observation off the token critical path: with -journal the
+# goldens must be byte-identical to the journal-off runs above, and two
+# journaled runs must write byte-identical journal files. Then the
+# self-test: plant a swapped token grant and a flipped page hash with
+# conseq-diff's perturb modes and require the diff to exit non-zero AND
+# name the exact planted site (docs/divergence.md).
+for spec in $goldens; do
+    bench=${spec%%:*}
+    rest=${spec#*:}
+    want_sum=${rest%%:*}
+    want_trace=${rest#*:}
+    out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -journal "$journal_dir/$bench-a.csqj")
+    got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+    got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+        echo "journal gate: $bench with -journal diverged from the goldens:" >&2
+        echo "  checksum $got_sum (want $want_sum)" >&2
+        echo "  trace    $got_trace (want $want_trace)" >&2
+        exit 1
+    fi
+    "$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -journal "$journal_dir/$bench-b.csqj" >/dev/null
+    if ! cmp -s "$journal_dir/$bench-a.csqj" "$journal_dir/$bench-b.csqj"; then
+        echo "journal gate: $bench wrote different journal bytes across two identical runs" >&2
+        exit 1
+    fi
+    if ! "$conseq_diff_bin" "$journal_dir/$bench-a.csqj" "$journal_dir/$bench-b.csqj" >/dev/null; then
+        echo "journal gate: conseq-diff reported divergence between identical $bench journals" >&2
+        exit 1
+    fi
+    echo "   $bench ok (goldens unmoved, two journaled runs byte-identical)"
+done
+
+# Planted sync divergence: swap two adjacent token grants and demand the
+# exact seq back.
+"$conseq_diff_bin" -perturb swap-grant -at 100 -o "$journal_dir/swap.csqj" "$journal_dir/water_nsquared-a.csqj" >/dev/null
+if rep=$("$conseq_diff_bin" "$journal_dir/water_nsquared-a.csqj" "$journal_dir/swap.csqj"); then
+    echo "journal gate: conseq-diff missed the planted grant swap" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$rep" | grep -q "first divergent event at seq 100"; then
+    echo "journal gate: conseq-diff mislocalized the planted grant swap:" >&2
+    printf '%s\n' "$rep" >&2
+    exit 1
+fi
+# Planted memory divergence: flip one committed page hash and demand the
+# commit-level report, in JSON for the machine-readable path.
+"$conseq_diff_bin" -perturb flip-page -at 5 -o "$journal_dir/flip.csqj" "$journal_dir/water_nsquared-a.csqj" >/dev/null
+if rep=$("$conseq_diff_bin" -json "$journal_dir/water_nsquared-a.csqj" "$journal_dir/flip.csqj"); then
+    echo "journal gate: conseq-diff missed the planted page flip" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$rep" | grep -q '"kind": "commit"'; then
+    echo "journal gate: conseq-diff mislocalized the planted page flip:" >&2
+    printf '%s\n' "$rep" >&2
+    exit 1
+fi
+# Live re-execution: replaying the run from the journal's own metadata
+# must reproduce it exactly.
+if ! "$conseq_diff_bin" -live "$journal_dir/histogram-a.csqj" >/dev/null; then
+    echo "journal gate: live re-execution diverged from the recorded journal" >&2
+    exit 1
+fi
+echo "   conseq-diff ok (planted swap + page flip localized, live replay equivalent)"
 
 echo "== scheduler bench (BENCH_sched.json)"
 BENCHTIME=200x ./scripts/bench_sched.sh >/dev/null

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Divergence-observatory smoke (`make diff-smoke`): journal one golden
+# run twice, check the journals are byte-identical, then plant a swapped
+# token grant with conseq-diff's perturb mode and let the diff localize
+# it. A quick end-to-end tour of docs/divergence.md; the full gate lives
+# in scripts/check.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bench=${BENCH:-water_nsquared}
+at=${AT:-100}
+dir=$(mktemp -d -t diffsmoke.XXXXXX)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== journaling two runs of $bench"
+go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42 -journal "$dir/a.csqj" | grep '^journal'
+go run ./cmd/detrun -bench "$bench" -threads 8 -scale 1 -seed 42 -journal "$dir/b.csqj" >/dev/null
+cmp "$dir/a.csqj" "$dir/b.csqj"
+echo "   byte-identical"
+
+echo "== planting a grant swap at seq $at and diffing"
+go run ./cmd/conseq-diff -perturb swap-grant -at "$at" -o "$dir/p.csqj" "$dir/a.csqj"
+if go run ./cmd/conseq-diff "$dir/a.csqj" "$dir/p.csqj"; then
+    echo "diff-smoke: conseq-diff missed the planted divergence" >&2
+    exit 1
+fi
+echo "diff-smoke: OK (divergence localized)"
