@@ -79,14 +79,38 @@ func (b *chaosBinding) Block() { b.inner.Block() }
 
 // Wake delays the handoff, then wakes the (unwrapped) target.
 func (b *chaosBinding) Wake(target host.Binding) {
-	if d := b.s.WakeDelay(); d > 0 {
-		if b.h.inner.Timed() {
-			b.inner.Charge(d)
-		} else {
-			time.Sleep(time.Duration(d) * time.Nanosecond)
-		}
+	b.wakeChaos()
+	b.inner.Wake(unwrap(target))
+}
+
+// WakeFrom implements host.AnchoredWaker: the handoff delay is charged to
+// the waker as in Wake, and the anchor origin is pushed out by the same
+// delay — chaos slows the handoff, it never reorders it — before
+// forwarding to the inner host. Falls back to plain Wake if the inner
+// binding does not anchor.
+func (b *chaosBinding) WakeFrom(target host.Binding, origin int64) {
+	d := b.wakeChaos()
+	if aw, ok := b.inner.(host.AnchoredWaker); ok {
+		aw.WakeFrom(unwrap(target), origin+d)
+		return
 	}
 	b.inner.Wake(unwrap(target))
+}
+
+// wakeChaos applies the profile's wake delay to the waking thread and
+// returns the virtual-time delay charged (0 on untimed hosts, where the
+// delay is a real sleep instead).
+func (b *chaosBinding) wakeChaos() int64 {
+	d := b.s.WakeDelay()
+	if d <= 0 {
+		return 0
+	}
+	if b.h.inner.Timed() {
+		b.inner.Charge(d)
+		return d
+	}
+	time.Sleep(time.Duration(d) * time.Nanosecond)
+	return 0
 }
 
 // SetBlockReason forwards the diagnostic block reason to hosts that
@@ -102,4 +126,5 @@ var (
 	_ host.Host          = (*chaosHost)(nil)
 	_ host.Binding       = (*chaosBinding)(nil)
 	_ host.BlockReasoner = (*chaosBinding)(nil)
+	_ host.AnchoredWaker = (*chaosBinding)(nil)
 )

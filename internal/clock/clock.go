@@ -67,6 +67,10 @@ type threadState struct {
 	// wanting threads have requested the token and are blocked until
 	// granted.
 	wanting bool
+	// scope is the shard of the thread's pending/latest request under
+	// sharded granting (GlobalScope for cross-shard edges); unused in the
+	// legacy single-domain mode.
+	scope int
 }
 
 // Arbiter is the deterministic token arbiter. All methods are safe for
@@ -86,6 +90,11 @@ type Arbiter struct {
 	lastRelease int64
 	// fastForward enables §3.5 on Arrive.
 	fastForward bool
+	// nShards > 0 switches grant decisions to sharded granting (stage 2,
+	// shardgrant.go): per-shard release clocks, scoped fast-forward, and
+	// the (count, shard id, tid) merge rule.
+	nShards     int
+	shardClocks []int64
 
 	// stats
 	grants   int64
@@ -118,7 +127,7 @@ func (a *Arbiter) Register(tid int, start int64) int {
 	if _, ok := a.threads[tid]; ok {
 		panic(fmt.Sprintf("clock: tid %d registered twice", tid))
 	}
-	a.threads[tid] = &threadState{tid: tid, count: start, eligible: true}
+	a.threads[tid] = &threadState{tid: tid, count: start, eligible: true, scope: GlobalScope}
 	i := sort.SearchInts(a.order, tid)
 	a.order = append(a.order, 0)
 	copy(a.order[i+1:], a.order[i:])
@@ -196,6 +205,9 @@ func (a *Arbiter) Release(tid int) int {
 	st := a.state(tid)
 	st.count++
 	a.lastRelease = st.count
+	if a.nShards > 0 {
+		a.foldReleaseLocked(st, st.count)
+	}
 	if a.policy == PolicyRR {
 		a.rrNext = tid + 1
 	}
@@ -220,6 +232,9 @@ func (a *Arbiter) TransferTo(from, to int) {
 	fromSt := a.state(from)
 	fromSt.count++
 	a.lastRelease = fromSt.count
+	if a.nShards > 0 {
+		a.foldReleaseLocked(fromSt, fromSt.count)
+	}
 	if a.policy == PolicyRR {
 		a.rrNext = from + 1
 	}
@@ -282,10 +297,10 @@ func (a *Arbiter) Arrive(tid int) int {
 	defer a.mu.Unlock()
 	st := a.state(tid)
 	st.eligible = true
-	if a.fastForward && a.lastRelease > st.count {
+	if target := a.ffTargetLocked(st); a.fastForward && target > st.count {
 		a.ffJumps++
-		a.ffAmount += a.lastRelease - st.count
-		st.count = a.lastRelease
+		a.ffAmount += target - st.count
+		st.count = target
 	}
 	return a.grantLocked()
 }
@@ -303,10 +318,10 @@ func (a *Arbiter) ArriveWanting(tid int) int {
 	defer a.mu.Unlock()
 	st := a.state(tid)
 	st.eligible = true
-	if a.fastForward && a.lastRelease > st.count {
+	if target := a.ffTargetLocked(st); a.fastForward && target > st.count {
 		a.ffJumps++
-		a.ffAmount += a.lastRelease - st.count
-		st.count = a.lastRelease
+		a.ffAmount += target - st.count
+		st.count = target
 	}
 	st.wanting = true
 	return a.grantLocked()
@@ -387,6 +402,9 @@ func (a *Arbiter) grantLocked() int {
 	}
 	switch a.policy {
 	case PolicyIC:
+		if a.nShards > 0 {
+			return a.grantShardedLocked()
+		}
 		return a.grantICLocked()
 	case PolicyRR:
 		return a.grantRRLocked()
@@ -467,9 +485,16 @@ func (a *Arbiter) DumpState() string {
 	defer a.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "arbiter: policy=%s holder=%d grants=%d departs=%d\n", a.policy, a.holder, a.grants, a.departs)
+	if a.nShards > 0 {
+		fmt.Fprintf(&b, "  shard clocks: %v\n", a.shardClocks)
+	}
 	for _, tid := range a.order {
 		st := a.threads[tid]
-		fmt.Fprintf(&b, "  t%-4d clock=%-12d eligible=%-5v wanting=%v\n", tid, st.count, st.eligible, st.wanting)
+		fmt.Fprintf(&b, "  t%-4d clock=%-12d eligible=%-5v wanting=%v", tid, st.count, st.eligible, st.wanting)
+		if a.nShards > 0 {
+			fmt.Fprintf(&b, " scope=%d", st.scope)
+		}
+		b.WriteByte('\n')
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -8,14 +8,18 @@ import (
 
 // ShardSet is the bookkeeping half of sharded token arbitration
 // (docs/scheduler.md): lock objects are partitioned into N shards, each
-// with its own sub-token holder and shard clock. The global grant order is
-// still decided by the Arbiter — the ShardSet never grants anything — but
-// it records, per shard, who last held the shard's sub-token and the
-// release clock of the shard's last operation, so the runtime can tell a
-// cheap shard-local re-acquire (the previous holder taking its own
-// sub-token back) from a full cross-thread transfer, and can price the
-// shard-clock merge that cross-shard edges (barriers, forks, joins, exits)
-// must perform.
+// with its own sub-token holder and shard clock. Grant decisions live in
+// the Arbiter (legacy single-domain, or the stage-2 sharded merge rule in
+// shardgrant.go) — the ShardSet never grants anything — but it records,
+// per shard, who last held the shard's sub-token and the release clock of
+// the shard's last operation, so the runtime can tell a cheap shard-local
+// re-acquire (the previous holder taking its own sub-token back) from a
+// full cross-thread transfer, and can price the shard-clock merge that
+// cross-shard edges (barriers, forks, joins, exits) must perform. Under
+// per-shard granting it additionally carries each shard's virtual-time
+// frontier — the anchor that lets operations in different shards overlap
+// in modeled time — and per-shard busy accounting for the
+// grant-parallelism metric.
 //
 // All methods are called with the global token held (grant decisions are
 // token-serialized), so the state transitions are deterministic; the mutex
@@ -29,6 +33,12 @@ type ShardSet struct {
 	locals    int64 // sub-token re-acquires by the shard's previous holder
 	transfers int64 // sub-token handoffs to a different thread
 	merges    int64 // cross-shard merges performed at edges
+
+	// Stage-2 (per-shard granting) virtual-time state, all written with
+	// the machine token held:
+	frontiers    []int64 // virtual ns at which each shard's last op released
+	busy         []int64 // summed token-held virtual ns per shard
+	globalBusyNS int64   // token-held virtual ns of cross-shard edges
 }
 
 // NewShardSet creates a ShardSet with n shards (n ≥ 1).
@@ -37,9 +47,11 @@ func NewShardSet(n int) *ShardSet {
 		panic(fmt.Sprintf("clock: ShardSet needs at least 1 shard, got %d", n))
 	}
 	s := &ShardSet{
-		holders: make([]int, n),
-		clocks:  make([]int64, n),
-		grants:  make([]int64, n),
+		holders:   make([]int, n),
+		clocks:    make([]int64, n),
+		grants:    make([]int64, n),
+		frontiers: make([]int64, n),
+		busy:      make([]int64, n),
 	}
 	for i := range s.holders {
 		s.holders[i] = NoGrant
@@ -115,6 +127,84 @@ func (s *ShardSet) Clock(sh int) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.clocks[sh]
+}
+
+// SetAllHolders marks tid as the holder of every shard's sub-token — a
+// cross-shard edge engages all partitions, so the next single-shard op on
+// any shard by a different thread is a transfer, not a local re-acquire.
+func (s *ShardSet) SetAllHolders(tid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.holders {
+		s.holders[i] = tid
+	}
+}
+
+// PublishFrontier records that scope's last operation released at virtual
+// time ns (scope GlobalScope publishes to every shard). Frontiers are
+// monotone per shard: under per-shard granting every op in a shard is
+// anchored at or after the shard's previous frontier.
+func (s *ShardSet) PublishFrontier(scope int, ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if scope != GlobalScope {
+		if ns > s.frontiers[scope] {
+			s.frontiers[scope] = ns
+		}
+		return
+	}
+	for i := range s.frontiers {
+		if ns > s.frontiers[i] {
+			s.frontiers[i] = ns
+		}
+	}
+}
+
+// Frontier returns scope's virtual-time anchor: the frontier of the named
+// shard, or the maximum over all shards for GlobalScope. An operation
+// entering scope may not begin its token-held work before this instant —
+// its scope's sub-token is virtually busy until then.
+func (s *ShardSet) Frontier(scope int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if scope != GlobalScope {
+		return s.frontiers[scope]
+	}
+	var max int64
+	for _, f := range s.frontiers {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// AddBusy accrues ns of token-held work to scope (GlobalScope accrues to
+// the cross-shard bucket). The observability layer divides these by wall
+// time for per-shard arbiter utilization and the grant-parallelism metric.
+func (s *ShardSet) AddBusy(scope int, ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if scope == GlobalScope {
+		s.globalBusyNS += ns
+		return
+	}
+	s.busy[scope] += ns
+}
+
+// BusyNS returns each shard's accrued token-held virtual ns and the
+// cross-shard edges' bucket.
+func (s *ShardSet) BusyNS() ([]int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.busy...), s.globalBusyNS
+}
+
+// FrontierNS returns shard sh's current frontier (for metrics).
+func (s *ShardSet) FrontierNS(sh int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frontiers[sh]
 }
 
 // ShardStats is a snapshot of a ShardSet's counters.

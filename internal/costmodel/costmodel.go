@@ -80,6 +80,17 @@ type Model struct {
 	// path pays only this term instead of ForkBase or PoolReuse.
 	PoolWorkerWake int64
 
+	// PoolAdoptDispatch is the spawner-side cost of a pool adoption under
+	// per-shard granting (docs/scheduler.md stage 2): pop the free list,
+	// publish the assignment, and trip the worker's wake, then move on.
+	// The deterministic re-registration that the legacy PoolWorkerWake
+	// also covered is not a separate charge in stage 2 — the worker's
+	// first sub-token acquisition prices it (ShardHandoff/ShardTransfer),
+	// and the wake latency itself is already modeled host-side (Wakeup) —
+	// the same waker-to-woken cost move lazy fast-forward makes for token
+	// wakes.
+	PoolAdoptDispatch int64
+
 	// WorkerWarmup is the adopted worker's wake-to-ready cost: swap the
 	// workspace's address-space base to the new tid and revalidate its
 	// view against the pinned spawn head. Much cheaper than PoolReuse —
@@ -113,6 +124,14 @@ type Model struct {
 	ShardHandoff   int64
 	ShardClockRead int64
 
+	// ShardTransfer is a sub-token handoff between threads within one
+	// arbitration shard under per-shard granting (stage 2,
+	// docs/scheduler.md): one remote cache-line transfer for the shard's
+	// holder word plus the shard-clock publish, but no global fold — the
+	// other shards' clock lines stay untouched. Sits between ShardHandoff
+	// (shard-local re-acquire) and TokenHandoff (full cross-shard edge).
+	ShardTransfer int64
+
 	// SyncOpLocal is the cost of an uncontended pthreads mutex/barrier
 	// operation (the nondeterministic baseline's only sync overhead).
 	SyncOpLocal int64
@@ -140,11 +159,13 @@ func Default() Model {
 		ForkPerPage:       450,
 		PoolReuse:         15_000,
 		PoolWorkerWake:    1_800,
+		PoolAdoptDispatch: 600,
 		WorkerWarmup:      4_000,
 		WakeHandoff:       130,
 		FastForwardResync: 90,
 		ShardHandoff:      120,
 		ShardClockRead:    40,
+		ShardTransfer:     200,
 		SyncOpLocal:       90,
 	}
 }

@@ -111,16 +111,30 @@ type Config struct {
 	// Shards partitions lock objects into this many arbitration shards
 	// (docs/scheduler.md), each with its own sub-token and shard clock,
 	// merged only at cross-shard edges (barriers, forks, joins, exits).
-	// The global grant order is unchanged — the sharded structure grants
-	// in exactly the single-token order, which is the determinism
-	// argument — but a shard-local sub-token re-acquire is priced at
-	// Model.ShardHandoff instead of a full TokenHandoff. 0 and 1 both
-	// mean the legacy single token and reproduce the pre-shard time
-	// model exactly (dwc-strict keeps Shards = 1).
+	// Without ShardGrants the global grant order is unchanged — the
+	// sharded structure grants in exactly the single-token order, which
+	// is the stage-1 determinism argument — but a shard-local sub-token
+	// re-acquire is priced at Model.ShardHandoff instead of a full
+	// TokenHandoff. 0 and 1 both mean the legacy single token and
+	// reproduce the pre-shard time model exactly (dwc-strict keeps
+	// Shards = 1).
 	Shards int
 	// Sharder maps lock object ids to shards; nil selects FNVSharder
 	// (fnv32a hash + modulo). Only consulted when Shards >= 2.
 	Sharder Sharder
+	// ShardGrants promotes the shards from priced bookkeeping to real
+	// granting authority (stage 2, docs/scheduler.md): every request
+	// names a scope — the operation's shard, or a global scope for
+	// cross-shard edges (spawn, barrier, forced commits) — per-shard
+	// release clocks advance independently, blocked threads fast-forward
+	// only into their scope's clock domain, and grants follow the
+	// deterministic merge rule (shard clock, shard id, tid). Results
+	// (checksums) are byte-identical to the legacy order for race-free
+	// programs, but the sync trace legitimately changes: events carry
+	// shard provenance and interleave per the merge rule instead of the
+	// single-token order (the ordering-contract equivalence argument in
+	// docs/scheduler.md). Requires PolicyIC and Shards >= 2.
+	ShardGrants bool
 	// ParallelBarrier enables the two-phase parallel barrier commit (§4.2).
 	ParallelBarrier bool
 	// SpeculativeDiff hoists commit diff computation off the token path: a
@@ -234,17 +248,21 @@ func Default() Config {
 	}
 }
 
-// EnableScaleOut applies the scheduler scale-out trio (docs/scheduler.md)
-// for a run with the given thread count: Shards-way token arbitration,
-// the deterministic worker pool pre-spawned to the thread count, and lazy
-// fast-forward. A shards value below 2 leaves the configuration untouched
-// — the legacy single-token time model. Results (checksums, sync-order
-// traces) are identical at every shard count; only modeled time moves.
+// EnableScaleOut applies the scheduler scale-out set (docs/scheduler.md)
+// for a run with the given thread count: Shards-way per-shard granting
+// (ShardGrants), the deterministic worker pool pre-spawned to the thread
+// count, and lazy fast-forward. A shards value below 2 leaves the
+// configuration untouched — the legacy single-token time model. Results
+// (checksums) are identical at every shard count for race-free programs;
+// the sync trace at shards >= 2 follows the per-shard merge-rule order
+// (deterministic and replay-stable, but different events/interleave than
+// shards = 1 — see the stage-2 equivalence argument in docs/scheduler.md).
 func (c *Config) EnableScaleOut(shards, threads int) {
 	if shards < 2 {
 		return
 	}
 	c.Shards = shards
+	c.ShardGrants = true
 	c.WorkerPool = true
 	c.LazyFastForward = true
 	c.PoolPrespawn = threads
@@ -350,6 +368,14 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 	if cfg.WorkerPool && cfg.PoolCap <= 0 {
 		return nil, fmt.Errorf("det: WorkerPool requires a positive PoolCap")
 	}
+	if cfg.ShardGrants {
+		if cfg.Shards < 2 {
+			return nil, fmt.Errorf("det: ShardGrants requires Shards >= 2 (got %d)", cfg.Shards)
+		}
+		if cfg.Policy != clock.PolicyIC {
+			return nil, fmt.Errorf("det: ShardGrants requires PolicyIC (round-robin has no clock domain to shard)")
+		}
+	}
 	seg, err := mem.NewSegment(mem.SegmentConfig{
 		Name:         "heap",
 		Size:         cfg.SegmentSize,
@@ -381,6 +407,9 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 		if rt.sharder == nil {
 			rt.sharder = FNVSharder{}
 		}
+	}
+	if cfg.ShardGrants {
+		rt.arb.EnableShardGrants(cfg.Shards)
 	}
 	return rt, nil
 }
@@ -447,6 +476,18 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 		for i := 0; i < ss.Shards(); i++ {
 			sh := i
 			r.Func("clock_shard_grants", func() int64 { return ss.Stats().Grants[sh] }, obs.L("shard", sh))
+		}
+		if rt.cfg.ShardGrants {
+			// Stage-2 virtual-time gauges: per-shard token-held busy time
+			// and frontier, plus the cross-shard edges' bucket. The analyzer
+			// divides busy by wall for per-shard arbiter utilization and the
+			// grant-parallelism metric.
+			for i := 0; i < ss.Shards(); i++ {
+				sh := i
+				r.Func("clock_shard_busy_ns", func() int64 { b, _ := ss.BusyNS(); return b[sh] }, obs.L("shard", sh))
+				r.Func("clock_shard_frontier_ns", func() int64 { return ss.FrontierNS(sh) }, obs.L("shard", sh))
+			}
+			r.Func("clock_global_edge_busy_ns", func() int64 { _, g := ss.BusyNS(); return g })
 		}
 	}
 	aggFunc := func(f func(api.RunStats) int64) func() int64 {
@@ -589,6 +630,12 @@ func (rt *Runtime) attachThread(tid int, startClock int64, ws *mem.Workspace) *T
 		curShard: -1,
 		overflow: clock.NewOverflow(rt.cfg.OverflowBase, rt.cfg.AdaptiveOverflow),
 	}
+	if rt.cfg.ShardGrants {
+		// Home shard: where the thread's exit (and any join on it) is
+		// arbitrated until a shardable op moves its domain. tid-derived, so
+		// a joiner can compute it without racing the running child.
+		t.domShard = tid % rt.cfg.Shards
+	}
 	t.coarse.maxChunk = rt.cfg.MaxChunkInit
 	if in := rt.cfg.Chaos; in != nil {
 		// Per-thread perturbation streams, keyed (seed, subsystem, tid):
@@ -684,6 +731,18 @@ func (rt *Runtime) deliverFrom(waker host.Binding, grant int) {
 			})
 		}
 	}()
+	if rt.cfg.ShardGrants && rt.timed {
+		if aw, ok := waker.(host.AnchoredWaker); ok {
+			// Anchor the wake at the granted op's scope frontier instead of
+			// the waker's own clock: the target's sub-token became free at
+			// that instant, so ops granted in different shards resume in
+			// overlapping virtual time. The frontier was published before
+			// the arbiter produced this grant (releaseTokenRaw), and both
+			// reads are token-serialized, so the anchor is deterministic.
+			aw.WakeFrom(target.b, rt.shardSet.Frontier(rt.arb.Scope(grant)))
+			return
+		}
+	}
 	waker.Wake(target.b)
 }
 

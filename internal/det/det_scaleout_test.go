@@ -198,7 +198,10 @@ func BenchmarkTokenHandoff(b *testing.B) {
 
 // BenchmarkForkJoin measures thread lifecycle cost: spawn a trivial child
 // and join it, once per iteration — the path the worker pool exists to
-// shorten.
+// shorten. A few untimed warm-up iterations run before the clock starts,
+// so the pooled side measures steady-state adoption (worker parked, view
+// warm) rather than the cold first-adoption rebuild, mirroring how the
+// pool is hit in a real run after start-up.
 func BenchmarkForkJoin(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
@@ -208,10 +211,57 @@ func BenchmarkForkJoin(b *testing.B) {
 			c := det.Default()
 			c.EnableScaleOut(mode.shards, 2)
 			rt := benchRT(b, c)
-			b.ResetTimer()
 			err := rt.Run(func(t api.T) {
+				for i := 0; i < 8; i++ {
+					t.Join(t.Spawn(func(t api.T) { t.Compute(100) }))
+				}
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					h := t.Spawn(func(t api.T) { t.Compute(100) })
+					t.Join(h)
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkGrantParallel measures host-level arbitration throughput under
+// per-shard granting: 4 threads ping-ponging on 4 disjoint mutexes (two
+// threads per mutex), so at shards >= 4 every grant is shard-local and
+// the shard count sweep exposes how much of the serial arbiter the merge
+// rule actually removed. Reported per sync op.
+func BenchmarkGrantParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := det.Default()
+			c.EnableScaleOut(shards, 8)
+			rt := benchRT(b, c)
+			err := rt.Run(func(t api.T) {
+				ms := make([]api.Mutex, 4)
+				for i := range ms {
+					ms[i] = t.NewMutex()
+				}
+				pair := func(m api.Mutex, n int) func(api.T) {
+					return func(t api.T) {
+						for i := 0; i < n; i++ {
+							t.Lock(m)
+							t.Unlock(m)
+						}
+					}
+				}
+				// Warm the pool and the arbitration state before timing.
+				for _, m := range ms {
+					t.Join(t.Spawn(pair(m, 16)))
+				}
+				b.ResetTimer()
+				hs := make([]api.Handle, 0, 8)
+				for _, m := range ms {
+					hs = append(hs, t.Spawn(pair(m, b.N)), t.Spawn(pair(m, b.N)))
+				}
+				for _, h := range hs {
 					t.Join(h)
 				}
 			})

@@ -48,10 +48,21 @@ type Thread struct {
 	// thread, and for every thread when Config.WorkerPool is off).
 	worker *worker
 	// curShard is the arbitration shard of the sync op in progress, -1
-	// for cross-shard edges (barrier/spawn/join/exit) and whenever
-	// sharding is off. Set by syncOpStart, consumed by the handoff and
-	// release charge sites.
+	// for cross-shard edges and whenever sharding is off. Set by
+	// syncOpStart (Join overrides it with the child's home shard, a
+	// waker's retarget refreshes it in blockForToken), consumed by the
+	// handoff and release charge sites; under ShardGrants it is also the
+	// request scope passed to the arbiter.
 	curShard int
+	// domShard is the thread's domain shard under ShardGrants: the shard
+	// of its most recent shardable op (home shard, tid mod Shards, until
+	// one happens). Exit is arbitrated there, and exit retargets parked
+	// joiners to it.
+	domShard int
+	// tokenAcqNS is the host time at which the thread's current token
+	// hold began (after any sub-token-busy top-up); releaseTokenRaw
+	// accrues the held span to the scope's busy bucket. ShardGrants only.
+	tokenAcqNS int64
 
 	coarse          coarsenState
 	lastSyncIcount  int64
@@ -427,16 +438,30 @@ func (t *Thread) acquireToken() {
 	t.speculate()
 	t.publishPending()
 	t.account(obs.PhaseCompute)
-	// End-of-chunk clock read (syscall path; the user-space fast path
-	// applies only inside coarsened chunks, see tokenBegin).
-	t.charge(obs.PhaseLib, m.SyscallClockRead)
+	// End-of-chunk clock read. Legacy and stage-1 sharding publish the
+	// chunk count through the syscall path (the user-space fast path
+	// applies only inside coarsened chunks, see tokenBegin). Under
+	// per-shard granting a shard-scoped op instead publishes to the
+	// shard's in-process clock word — a user-space store, same price as
+	// the in-chunk fast path; only global edges (barriers and other
+	// all-shard rendezvous) still pay the syscall to fold every shard.
+	clockRead := m.SyscallClockRead
+	if t.rt.cfg.ShardGrants && t.curShard >= 0 {
+		clockRead = m.UserClockRead
+	}
+	t.charge(obs.PhaseLib, clockRead)
 	woken := false
-	if g := t.rt.arb.Request(t.tid); g != t.tid {
+	var g int
+	if t.rt.cfg.ShardGrants {
+		g = t.rt.arb.RequestSharded(t.tid, t.curShard)
+	} else {
+		g = t.rt.arb.Request(t.tid)
+	}
+	if g != t.tid {
 		t.deliver(g)
 		t.park(diagTokenWait, "global token")
 		t.resyncClock()
 		woken = true
-	} else {
 	}
 	t.holding = true
 	t.account(obs.PhaseTokenWait)
@@ -458,6 +483,8 @@ func (t *Thread) acquireToken() {
 //     Model.ShardHandoff; a sub-token transfer costs the full handoff.
 //   - Sharded arbitration, cross-shard edge: the full handoff plus
 //     (Shards−1) × Model.ShardClockRead to fold every shard clock.
+//   - Per-shard granting (ShardGrants): the stage-2 pricing and
+//     virtual-time anchoring in chargeShardedHandoff.
 func (t *Thread) chargeHandoff(woken bool) {
 	cfg := &t.rt.cfg
 	m := &cfg.Model
@@ -468,6 +495,10 @@ func (t *Thread) chargeHandoff(woken bool) {
 		ff = m.FastForwardResync
 	}
 	if ss := t.rt.shardSet; ss != nil {
+		if cfg.ShardGrants {
+			t.chargeShardedHandoff(ss, base, ff)
+			return
+		}
 		if t.curShard >= 0 {
 			if ss.NoteGrant(t.curShard, t.tid) && m.ShardHandoff < base+ff {
 				// The sub-token never left this thread: no transfer, no
@@ -478,6 +509,46 @@ func (t *Thread) chargeHandoff(woken bool) {
 			ss.Merge(t.icount)
 			base += int64(ss.Shards()-1) * m.ShardClockRead
 		}
+	}
+	t.charge(obs.PhaseHandoff, base)
+	if ff > 0 {
+		t.charge(obs.PhaseFastForward, ff)
+	}
+}
+
+// chargeShardedHandoff prices taking the token under per-shard granting
+// and anchors the op in its scope's virtual time (stage 2,
+// docs/scheduler.md). The op may not begin before its scope's frontier —
+// the instant the scope's previous op released, i.e. the sub-token-busy
+// model. Wakes are already anchored there (Runtime.deliverFrom), so the
+// top-up below is usually zero for woken threads; it is what serializes
+// the immediate-grant path behind the sub-token. Pricing: a shard-local
+// re-acquire costs Model.ShardHandoff, a within-shard transfer
+// Model.ShardTransfer (one holder cache line plus the shard clock, no
+// global fold), and a cross-shard edge the full base handoff plus
+// (Shards−1) × Model.ShardClockRead for the fold of every shard clock —
+// after which every partition's sub-token is engaged (SetAllHolders).
+func (t *Thread) chargeShardedHandoff(ss *clock.ShardSet, base, ff int64) {
+	m := &t.rt.cfg.Model
+	scope := t.curShard
+	if t.rt.timed {
+		if f := ss.Frontier(scope); f > t.b.Now() {
+			t.charge(obs.PhaseTokenWait, f-t.b.Now())
+		}
+	}
+	t.tokenAcqNS = t.b.Now()
+	if scope >= 0 {
+		if ss.NoteGrant(scope, t.tid) {
+			if m.ShardHandoff < base+ff {
+				base, ff = m.ShardHandoff, 0
+			}
+		} else if m.ShardTransfer < base+ff {
+			base, ff = m.ShardTransfer, 0
+		}
+	} else {
+		ss.Merge(t.icount)
+		ss.SetAllHolders(t.tid)
+		base += int64(ss.Shards()-1) * m.ShardClockRead
 	}
 	t.charge(obs.PhaseHandoff, base)
 	if ff > 0 {
@@ -501,6 +572,15 @@ func (t *Thread) releaseTokenRaw() {
 		} else {
 			ss.ReleaseAll(t.icount)
 		}
+		if t.rt.cfg.ShardGrants {
+			// Publish the scope's virtual-time frontier BEFORE the arbiter
+			// hands the token on, so a grant-time wake anchors against this
+			// op's release instant; accrue the held span to the scope's
+			// busy bucket for the grant-parallelism metric.
+			now := t.b.Now()
+			ss.PublishFrontier(t.curShard, now)
+			ss.AddBusy(t.curShard, now-t.tokenAcqNS)
+		}
 	}
 	t.deliver(t.rt.arb.Release(t.tid))
 }
@@ -523,6 +603,13 @@ func (t *Thread) blockForToken(phase int32, reason string) {
 	t.speculate() // overlap the sleep with pre-diffing, like acquireToken
 	t.park(phase, reason)
 	t.resyncClock()
+	if t.rt.cfg.ShardGrants {
+		// The waker may have retargeted our request scope while we slept
+		// (exit does, pointing joiners at the child's actual domain shard);
+		// refresh the local mirror so this op releases into the scope the
+		// grant was actually made in.
+		t.curShard = t.rt.arb.Scope(t.tid)
+	}
 	t.holding = true
 	t.account(obs.PhaseTokenWait)
 	t.chargeHandoff(true)
@@ -628,8 +715,16 @@ func (t *Thread) commitAndUpdate() {
 	}
 }
 
-// record emits a trace event at the thread's current clock.
+// record emits a trace event at the thread's current clock. Under
+// per-shard granting the event carries its granting-shard provenance so
+// the recorder can fold per-shard rolling hashes alongside the global
+// chain (curShard is the scope the token was granted under, refreshed on
+// every syncOpStart and after waker-retargeted wakeups).
 func (t *Thread) record(op trace.Op, obj uint64) {
+	if t.rt.cfg.ShardGrants {
+		t.rt.rec.RecordSharded(t.tid, op, obj, t.icount, t.curShard)
+		return
+	}
 	t.rt.rec.Record(t.tid, op, obj, t.icount)
 }
 
@@ -682,10 +777,14 @@ const (
 func siteID(kind, obj uint64) uint64 { return kind<<56 | obj&(1<<56-1) }
 
 // shardOf maps a sync site to its arbitration shard: lock-object
-// operations shard by object id through the configured Sharder; barriers,
-// forks, joins and exits are cross-shard edges (-1). Only called when
-// sharding is on. A Sharder that returns an out-of-range shard is a
-// configuration bug surfaced as a RuntimeError, not silently clamped.
+// operations shard by object id through the configured Sharder (and move
+// the thread's domain shard); barriers, forks and joins are cross-shard
+// edges (-1). Under per-shard granting (stage 2) spawn and exit are
+// instead arbitrated in the acting thread's domain shard, and a join is
+// scoped to the child's home (threads.go) — only barriers and other
+// rendezvous ops remain global edges. Only called when sharding is on. A
+// Sharder that returns an out-of-range shard is a configuration bug
+// surfaced as a RuntimeError, not silently clamped.
 func (t *Thread) shardOf(site uint64) int {
 	switch site >> 56 {
 	case siteLock, siteUnlock, siteCondWait, siteSignal, siteBroadcast:
@@ -695,7 +794,20 @@ func (t *Thread) shardOf(site uint64) int {
 			panic(t.runtimeError("bad-shard", "shard", obj,
 				"Sharder returned shard %d for object %d with %d shards", sh, obj, t.rt.cfg.Shards))
 		}
+		if t.rt.cfg.ShardGrants {
+			t.domShard = sh
+		}
 		return sh
+	case siteSpawn, siteExit:
+		// Stage 2 only: thread creation and destruction are ordered in the
+		// acting thread's domain shard (a joiner is retargeted to the
+		// exit's domain, see threads.go), so fork/join programs do not
+		// rendezvous every partition per lifecycle op. Stage 1 keeps both
+		// as global edges — its pricing-only time model is frozen.
+		if t.rt.cfg.ShardGrants {
+			return t.domShard
+		}
+		return -1
 	default:
 		return -1
 	}

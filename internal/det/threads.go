@@ -38,7 +38,7 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 	var adopted *worker
 	var adoptedB host.Binding
 	if rt.cfg.WorkerPool {
-		if w := rt.popWorker(); w != nil {
+		if w := rt.popWorker(tid); w != nil {
 			// Adopt a parked worker (docs/scheduler.md): the spawner pays
 			// only the free-list pop + registration + wake; the worker does
 			// its own view warm-up off this thread's critical path. The
@@ -64,7 +64,14 @@ func (t *Thread) Spawn(fn func(api.T)) api.Handle {
 				warmPulls = int64(rt.seg.PopulatedPages())
 			}
 			t.account(obs.PhaseCompute)
-			t.charge(obs.PhaseSpawn, m.PoolWorkerWake)
+			if rt.cfg.ShardGrants {
+				// Stage 2 (docs/scheduler.md): the spawner only dispatches the
+				// adoption; re-registration is priced by the worker's first
+				// sub-token acquisition and the wake latency host-side.
+				t.charge(obs.PhaseSpawn, m.PoolAdoptDispatch)
+			} else {
+				t.charge(obs.PhaseSpawn, m.PoolWorkerWake)
+			}
 			child = rt.attachThread(tid, t.icount, ws)
 			child.worker = w
 			head := rt.seg.Head()
@@ -156,6 +163,14 @@ func (t *Thread) Join(h api.Handle) {
 		panic("det: foreign handle")
 	}
 	t.syncOpStart(siteID(siteJoin, 0))
+	if t.rt.cfg.ShardGrants {
+		// Arbitrate the join in the child's provisional home shard
+		// (tid-derived, computable without racing the running child). If
+		// the child is still running, its exit retargets us to its final
+		// domain shard via SetScope before the wake; if it has already
+		// exited, the provisional request simply lands in the home shard.
+		t.curShard = child.tid % t.rt.cfg.Shards
+	}
 	for {
 		t.tokenBegin()
 		t.uncoarsen()
@@ -189,6 +204,12 @@ func (t *Thread) exit() {
 		h.OnRelease(t.tid, spawnObj(t.tid))
 	}
 	for _, j := range t.joiners {
+		if rt.cfg.ShardGrants {
+			// Retarget the blocked joiner to this exit's domain shard so the
+			// join grant is arbitrated where the exit event lives; the joiner
+			// refreshes its own curShard from the arbiter on wakeup.
+			rt.arb.SetScope(j, t.curShard)
+		}
 		t.deliver(rt.arb.ArriveWanting(j))
 	}
 	t.joiners = nil

@@ -55,6 +55,9 @@ type worker struct {
 	pooled     bool
 	terminate  bool
 	key        [2]int64
+	// parkReason caches the watchdog-exempt block-reason string (parkIdle
+	// runs once per adoption; formatting it each time is measurable).
+	parkReason string
 }
 
 // spawnWorker creates a worker host task. With child == nil this is a
@@ -125,7 +128,19 @@ func (rt *Runtime) runWorker(w *worker, b host.Binding) {
 			if w.warmPulls > 0 {
 				pulls, w.warmPulls = w.warmPulls, 0
 			}
-			t.charge(obs.PhaseSpawn, m.WorkerWarmup+pulls*m.UpdatePage)
+			if rt.cfg.ShardGrants {
+				// Stage 2 accounting: the rebind is scheduling work, but the
+				// view pull-forward is the same commit-propagation that a
+				// barrier exit charges to the commit phase (sync.go) — split
+				// the charge the same way so the phases mean the same thing
+				// at every view-advance site.
+				t.charge(obs.PhaseSpawn, m.WorkerWarmup)
+				if pulls > 0 {
+					t.charge(obs.PhaseCommit, pulls*m.UpdatePage)
+				}
+			} else {
+				t.charge(obs.PhaseSpawn, m.WorkerWarmup+pulls*m.UpdatePage)
+			}
 			w.warm = false
 		}
 		rt.threadMain(t, fn)
@@ -139,10 +154,15 @@ func (rt *Runtime) runWorker(w *worker, b host.Binding) {
 
 // parkIdle blocks a worker between threads, with an idle-exempt block
 // reason so the real host's watchdog does not mistake a parked pool
-// worker for a stalled thread (host.IdleReasonPrefix).
+// worker for a stalled thread (host.IdleReasonPrefix). The reason string
+// is built once per worker — a pooled worker parks once per adoption, on
+// the run's hottest host path.
 func (rt *Runtime) parkIdle(w *worker, b host.Binding) {
 	if br, ok := b.(host.BlockReasoner); ok {
-		br.SetBlockReason(fmt.Sprintf("%spooled worker w%d", host.IdleReasonPrefix, w.seq))
+		if w.parkReason == "" {
+			w.parkReason = fmt.Sprintf("%spooled worker w%d", host.IdleReasonPrefix, w.seq)
+		}
+		br.SetBlockReason(w.parkReason)
 	}
 	b.Block()
 }
@@ -168,23 +188,38 @@ func (rt *Runtime) insertWorkerLocked(w *worker, key [2]int64) {
 	rt.workers[i] = w
 }
 
-// popWorker removes and returns the highest-keyed worker, or nil. Even a
-// worker whose task has not yet started (b still unset — possible on the
-// real host between Go and the goroutine's first instruction) is
+// popWorker removes and returns the worker for a child about to be spawned
+// as tid, or nil. Stage 1 pops the highest-keyed (warmest) worker. Under
+// per-shard granting the child's *arbitration* placement is already fixed
+// by its tid-derived home shard (exit and join order in that domain, see
+// threads.go), so the free-list choice is pure warmth scheduling, and
+// stage 2 inverts it: pop the *coldest* worker. In a fork-round, early
+// dispatches then absorb the stale workers' warm-up pulls while the
+// spawner is still dispatching the rest, so the last-dispatched child —
+// the one the join's critical path runs through — adopts the warmest
+// worker and starts almost immediately. Both rules read only the
+// token-held key order, so placement stays replay-stable.
+//
+// Even a worker whose task has not yet started (b still unset — possible
+// on the real host between Go and the goroutine's first instruction) is
 // adoptable: the adopter assigns next under rt.mu (started-gate) and the
 // worker's startup, ordered by the same mutex, sees the assignment and
 // skips its initial park instead of requiring a wake. Adoption therefore
 // never races with startup, and the pop — the token-held placement
 // decision — is replay-stable by list position alone.
-func (rt *Runtime) popWorker() *worker {
+func (rt *Runtime) popWorker(tid int) *worker {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	n := len(rt.workers)
 	if n == 0 {
 		return nil
 	}
-	w := rt.workers[n-1]
-	rt.workers = rt.workers[:n-1]
+	i := n - 1
+	if rt.cfg.ShardGrants {
+		i = 0
+	}
+	w := rt.workers[i]
+	rt.workers = append(rt.workers[:i], rt.workers[i+1:]...)
 	return w
 }
 

@@ -50,8 +50,9 @@ type Options struct {
 	Threads int
 	Scale   int
 	Seed    int64
-	// Shards, when >= 2, applies the scheduler scale-out trio
-	// (det.Config.EnableScaleOut): sharded token arbitration plus the
+	// Shards, when >= 2, applies the scheduler scale-out set
+	// (det.Config.EnableScaleOut): sharded token arbitration with
+	// per-shard granting authority (docs/scheduler.md stage 2) plus the
 	// worker pool pre-spawned to Threads and lazy fast-forward. Consequence
 	// runtimes only; the cell's checksum is unchanged by construction.
 	Shards int
@@ -151,6 +152,9 @@ func Run(o Options) (res Result, retErr error) {
 				"scale":   fmt.Sprint(o.Scale),
 				"seed":    fmt.Sprint(o.Seed),
 				"shards":  fmt.Sprint(max(o.Shards, 1)),
+				// Grant mode matters when diffing journals: per-shard
+				// granting orders events differently from stage 1.
+				"shard-grants": fmt.Sprint(o.Shards >= 2),
 			})
 			if err != nil {
 				return Result{}, err

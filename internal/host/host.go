@@ -38,6 +38,17 @@ type BlockReasoner interface {
 	SetBlockReason(reason string)
 }
 
+// AnchoredWaker is an optional Binding extension for hosts that model
+// time: WakeFrom is Wake with an explicit virtual-time origin, used by
+// per-shard granting to anchor a wake at the target's shard frontier
+// instead of the waker's own clock. origin is in the host's time base;
+// the wake lands no earlier than origin plus the host's wake latency.
+// Hosts without meaningful time (and callers on such hosts) fall back to
+// plain Wake.
+type AnchoredWaker interface {
+	WakeFrom(target Binding, origin int64)
+}
+
 // Binding is a thread's handle to its host context. Block and Charge must
 // be called only by the bound thread itself; Wake may be called by any
 // thread.

@@ -76,8 +76,20 @@ func (b *binding) Block() {
 }
 
 func (b *binding) Wake(target host.Binding) {
+	b.wakeAt(target, b.proc.Now()+b.h.model.Wakeup)
+}
+
+// WakeFrom implements host.AnchoredWaker: the wake is anchored at origin
+// (a shard's virtual-time frontier under per-shard granting) rather than
+// the waker's clock, so threads granted in different shards can resume in
+// overlapping virtual time. The engine clamps the unpark to the target's
+// own park time, preserving per-thread monotonicity.
+func (b *binding) WakeFrom(target host.Binding, origin int64) {
+	b.wakeAt(target, origin+b.h.model.Wakeup)
+}
+
+func (b *binding) wakeAt(target host.Binding, at int64) {
 	t := target.(*binding)
-	at := b.proc.Now() + b.h.model.Wakeup
 	if t.proc.Parked() {
 		t.proc.UnparkAt(at)
 		return

@@ -19,7 +19,7 @@ func RecomputeCheckpoints(d *Data) {
 	r := trace.New(1)
 	r.SetCheckpointInterval(k)
 	for _, e := range d.Events {
-		r.Record(e.Tid, e.Op, e.Obj, e.Clock)
+		r.RecordSharded(e.Tid, e.Op, e.Obj, e.Clock, e.Shard)
 	}
 	d.Checkpoints = r.Checkpoints()
 }

@@ -7,22 +7,30 @@
 //
 // # Format
 //
-// A journal is a 5-byte header ("CSQJ" + format version 1) followed by a
+// A journal is a 5-byte header ("CSQJ" + format version 2) followed by a
 // stream of records until EOF. Each record is a one-byte kind followed by
 // a kind-specific payload; integers are unsigned varints (binary.Uvarint)
 // and hashes are fixed 8-byte little-endian words:
 //
 //	meta       (0x01): n, then n pairs of (key, value) length-prefixed strings
-//	event      (0x02): seq, tid, opcode, obj, clock
+//	event      (0x02): seq, tid, opcode, obj, clock, shard+1
 //	commit     (0x03): atSeq, version, tid, clock, npages, then npages x (page, hash)
-//	checkpoint (0x04): seq, hash, nthreads, then nthreads x (tid, hash)
+//	checkpoint (0x04): seq, hash, nthreads, then nthreads x (tid, hash),
+//	                   nshards, then nshards x (shard, hash)
 //
 // An event's opcode is a fixed one-byte code for the known trace.Op values
 // (opcode 0 escapes to a length-prefixed string for forward compatibility).
-// A commit's atSeq is the number of trace events recorded when the commit
-// was journaled, which interleaves the commit stream into the event total
-// order. Signed values (clocks, seqs) are non-negative by construction and
-// encoded as uvarints.
+// An event's shard field is its granting-shard provenance offset by one (0
+// = no shard: an unsharded run or a cross-shard edge); a checkpoint's
+// shard list carries the per-shard rolling hashes under per-shard
+// granting. A commit's atSeq is the number of trace events recorded when
+// the commit was journaled, which interleaves the commit stream into the
+// event total order. Signed values (clocks, seqs) are non-negative by
+// construction and encoded as uvarints.
+//
+// Version 1 files — the same records without the event shard field and
+// checkpoint shard list — are still decoded; their events load with
+// trace.NoShard provenance.
 //
 // Writing is off the critical path: Writer encodes into an in-memory block
 // under a mutex (callers are token-serialized already) and hands full
@@ -45,8 +53,10 @@ import (
 	"repro/internal/trace"
 )
 
-// magic identifies a journal file; the trailing byte is the format version.
-var magic = []byte{'C', 'S', 'Q', 'J', 1}
+// magic identifies a journal file; the trailing byte is the format version
+// written by this encoder. The reader also accepts version 1 (no shard
+// provenance).
+var magic = []byte{'C', 'S', 'Q', 'J', 2}
 
 // Record kinds.
 const (
@@ -213,6 +223,7 @@ func (w *Writer) RecordEvent(e trace.Event) {
 	}
 	w.buf = binary.AppendUvarint(w.buf, e.Obj)
 	w.buf = binary.AppendUvarint(w.buf, uint64(e.Clock))
+	w.buf = binary.AppendUvarint(w.buf, uint64(e.Shard+1))
 	w.flushIfFullLocked()
 	w.mu.Unlock()
 	w.events.Add(1)
@@ -228,6 +239,11 @@ func (w *Writer) RecordCheckpoint(c trace.Checkpoint) {
 	for _, th := range c.Threads {
 		w.buf = binary.AppendUvarint(w.buf, uint64(th.Tid))
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, th.Hash)
+	}
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(c.Shards)))
+	for _, sh := range c.Shards {
+		w.buf = binary.AppendUvarint(w.buf, uint64(sh.Shard))
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, sh.Hash)
 	}
 	w.flushIfFullLocked()
 	w.mu.Unlock()

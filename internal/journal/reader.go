@@ -59,7 +59,8 @@ func Decode(r io.Reader) (*Data, error) {
 			return nil, fmt.Errorf("bad magic %q", hdr[:4])
 		}
 	}
-	if hdr[4] != magic[4] {
+	version := int(hdr[4])
+	if version < 1 || version > int(magic[4]) {
 		return nil, fmt.Errorf("unsupported journal version %d", hdr[4])
 	}
 	d := &Data{Meta: map[string]string{}}
@@ -76,11 +77,11 @@ func Decode(r io.Reader) (*Data, error) {
 		case kindMeta:
 			err = decodeMeta(br, d)
 		case kindEvent:
-			err = decodeEvent(br, d)
+			err = decodeEvent(br, d, version)
 		case kindCommit:
 			err = decodeCommit(br, d)
 		case kindCheckpoint:
-			err = decodeCheckpoint(br, d)
+			err = decodeCheckpoint(br, d, version)
 		default:
 			return nil, fmt.Errorf("record %d: unknown kind 0x%02x", rec, kind)
 		}
@@ -153,7 +154,7 @@ func decodeMeta(br *bufio.Reader, d *Data) error {
 	return nil
 }
 
-func decodeEvent(br *bufio.Reader, d *Data) error {
+func decodeEvent(br *bufio.Reader, d *Data, version int) error {
 	seq, err := readUvarint(br)
 	if err != nil {
 		return err
@@ -188,8 +189,17 @@ func decodeEvent(br *bufio.Reader, d *Data) error {
 	if err != nil {
 		return err
 	}
+	shard := trace.NoShard
+	if version >= 2 {
+		s, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		shard = int(s) - 1
+	}
 	d.Events = append(d.Events, trace.Event{
 		Seq: int64(seq), Tid: int(tid), Op: op, Obj: obj, Clock: int64(clock),
+		Shard: shard,
 	})
 	return nil
 }
@@ -231,7 +241,7 @@ func decodeCommit(br *bufio.Reader, d *Data) error {
 	return nil
 }
 
-func decodeCheckpoint(br *bufio.Reader, d *Data) error {
+func decodeCheckpoint(br *bufio.Reader, d *Data, version int) error {
 	seq, err := readUvarint(br)
 	if err != nil {
 		return err
@@ -261,6 +271,26 @@ func decodeCheckpoint(br *bufio.Reader, d *Data) error {
 			return err
 		}
 		c.Threads = append(c.Threads, trace.ThreadHash{Tid: int(tid), Hash: h})
+	}
+	if version >= 2 {
+		ns, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		if ns > maxThreads {
+			return fmt.Errorf("shard count %d exceeds cap", ns)
+		}
+		for i := uint64(0); i < ns; i++ {
+			sh, err := readUvarint(br)
+			if err != nil {
+				return err
+			}
+			h, err := readHash(br)
+			if err != nil {
+				return err
+			}
+			c.Shards = append(c.Shards, trace.ShardHash{Shard: int(sh), Hash: h})
+		}
 	}
 	d.Checkpoints = append(d.Checkpoints, c)
 	return nil

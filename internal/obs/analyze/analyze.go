@@ -59,12 +59,16 @@ type Lane struct {
 type Input struct {
 	Process string
 	Lanes   []Lane
+	// Metrics is the run's metric snapshot (nil for Chrome-trace inputs,
+	// which carry no registry). Used for analyses that need runtime state
+	// the timelines don't record, e.g. the per-shard arbiter gauges.
+	Metrics []obs.Sample
 }
 
 // FromObserver snapshots a finished Observer into an Input. Call only
 // after the observed run has completed (Observer.Lanes' contract).
 func FromObserver(o *obs.Observer, process string) *Input {
-	in := &Input{Process: process}
+	in := &Input{Process: process, Metrics: o.Registry().Snapshot()}
 	for _, l := range o.Lanes() {
 		in.Lanes = append(in.Lanes, Lane{
 			Tid:     l.Tid(),
@@ -108,6 +112,7 @@ func Analyze(in *Input) (*Report, error) {
 	criticalPath(lanes, r)
 	mergeOverlap(lanes, r)
 	whatIfCoarsen(lanes, r)
+	shardingReport(in.Metrics, r)
 	return r, nil
 }
 

@@ -35,6 +35,9 @@ type Report struct {
 	Commits      CommitSummary `json:"commits"`
 	// Coarsening holds the §3.1 what-if estimates per fusion factor k.
 	Coarsening []WhatIf `json:"coarsening_what_if"`
+	// Sharding is the per-shard arbiter breakdown under stage-2 per-shard
+	// granting; nil (and omitted) for unsharded runs and trace-file inputs.
+	Sharding *ShardingReport `json:"sharding,omitempty"`
 }
 
 // PhaseTotal is one phase's share of some whole (thread-time for
@@ -201,6 +204,16 @@ func (r *Report) WriteText(w io.Writer) error {
 	if mo.TotalNS > 0 {
 		p("\nmerge overlap  %s ms of merge in %s ms of wall (%.2fx parallel, %s ms saved)\n",
 			ms(mo.TotalNS), ms(mo.BusyNS), mo.ParallelismX, ms(mo.OverlapNS))
+	}
+
+	if sh := r.Sharding; sh != nil {
+		p("\nshard arbiters  %.2fx grant parallelism, %s ms on cross-shard edges\n",
+			sh.GrantParallelismX, ms(sh.GlobalEdgeBusyNS))
+		p("  shard      busy ms   frontier ms    util%%\n")
+		for _, l := range sh.Shards {
+			p("  %-5d %12s %13s %8.2f\n",
+				l.Shard, ms(l.BusyNS), ms(l.FrontierNS), l.UtilizationPct)
+		}
 	}
 
 	if len(r.Coarsening) > 0 {

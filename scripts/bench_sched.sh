@@ -1,10 +1,13 @@
 #!/bin/sh
 # Scheduler micro-benchmarks: the token ping-pong (BenchmarkTokenHandoff)
-# and the thread fork/join lifecycle (BenchmarkForkJoin), each at 1 and 4
-# arbitration shards (see docs/scheduler.md). Emits BENCH_sched.json in the
-# repo root — machine-readable ns/op so perf regressions in the scheduler
-# hot paths are diffable across commits. Run via `make bench-sched` or
-# scripts/check.sh (smoke iterations there; the default here is larger).
+# at 1 and 4 arbitration shards, the thread fork/join lifecycle
+# (BenchmarkForkJoin) legacy vs pooled, and the per-shard granting sweep
+# (BenchmarkGrantParallel at 1/2/4/8 shards; see docs/scheduler.md stage
+# 2). Emits BENCH_sched.json in the repo root — machine-readable ns/op so
+# perf regressions in the scheduler hot paths are diffable across commits
+# (scripts/check.sh compares a fresh run against the committed file with a
+# tolerance band). Run via `make bench-sched` or scripts/check.sh (smoke
+# iterations there; the default here is larger).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +15,7 @@ cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-2000x}"
 out="${1:-BENCH_sched.json}"
 
-raw=$(go test -run=NONE -bench 'BenchmarkTokenHandoff|BenchmarkForkJoin' \
+raw=$(go test -run=NONE -bench 'BenchmarkTokenHandoff|BenchmarkForkJoin|BenchmarkGrantParallel' \
     -benchtime "$benchtime" ./internal/det)
 
 printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
