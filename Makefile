@@ -1,6 +1,6 @@
 # `make check` is the pre-PR gate (see README): gofmt, vet, build, test.
 
-.PHONY: check build test fmt figures chaos bench-sched diff-smoke
+.PHONY: check build test fmt figures chaos bench-sched bench-commitlog diff-smoke
 
 check:
 	./scripts/check.sh
@@ -9,6 +9,11 @@ check:
 # writes BENCH_sched.json (see docs/scheduler.md).
 bench-sched:
 	./scripts/bench_sched.sh
+
+# Commit-log micro-benchmarks (append hot path, full-log replay); writes
+# BENCH_commitlog.json (see docs/commitlog.md).
+bench-commitlog:
+	./scripts/bench_commitlog.sh
 
 # Longer fault-injection sweep: every chaos profile x 5 seeds over the
 # golden benchmarks, asserting results never move (see docs/robustness.md).

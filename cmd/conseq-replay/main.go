@@ -1,0 +1,222 @@
+// Command conseq-replay reconstructs program memory from a persistent
+// commit log (internal/commitlog, written by `detrun -commitlog` or
+// `consequence-bench -commitlog`). The log records every committed
+// version's page diffs in sync order, so the replica is an exact copy of
+// the live run's committed state at any version — time travel — and the
+// reconstruction is verifiable: against the log's own end trailer,
+// against an expected checksum, or commit-by-commit against the run's
+// divergence journal.
+//
+// Usage:
+//
+//	conseq-replay -dir /tmp/alog                      # replay all, print final state
+//	conseq-replay -dir /tmp/alog -at 120              # time travel to version 120
+//	conseq-replay -dir /tmp/alog -at-seq 500          # state as of sync-order seq 500
+//	conseq-replay -dir /tmp/alog -resume              # newest snapshot + tail (restart path)
+//	conseq-replay -dir /tmp/alog -checksum 9c02…      # assert the final checksum
+//	conseq-replay -dir /tmp/alog -verify a.csqj       # cross-check against the run journal
+//	conseq-replay -dir /tmp/alog -follow              # tail a live run's commits
+//	conseq-replay -dir /tmp/alog -repair              # crash recovery: keep the longest valid prefix
+//
+// Exit status: 0 on success, 1 on verification failure or corrupt log,
+// 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/commitlog"
+	"repro/internal/journal"
+)
+
+func main() {
+	dir := flag.String("dir", "", "commit log directory (required)")
+	at := flag.Int64("at", -1, "replay to this version (default: the whole retained history)")
+	atSeq := flag.Int64("at-seq", -1, "replay to this sync-order seq (commits with AtSeq <= seq)")
+	resume := flag.Bool("resume", false, "reconstruct from the newest snapshot plus the log tail (the restart path) instead of the full history")
+	sum := flag.String("checksum", "", "expected final checksum (16 hex digits, as printed by detrun); exit 1 on mismatch")
+	verifyPath := flag.String("verify", "", "cross-check the replay against this run journal (.csqj): same commit sequence, and every replayed page must hash to the journal's recorded page hash")
+	follow := flag.Bool("follow", false, "tail the log as it is written: print each commit until the end trailer appears")
+	followPoll := flag.Duration("follow-poll", 200*time.Millisecond, "poll interval for -follow")
+	repair := flag.Bool("repair", false, "scan for a torn tail after a crash and truncate to the longest valid record prefix, then replay what survives")
+	quiet := flag.Bool("quiet", false, "suppress per-commit output (-verify, -follow)")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "conseq-replay: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	modes := 0
+	for _, on := range []bool{*atSeq >= 0, *resume, *verifyPath != "", *follow} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatalUsage(fmt.Errorf("-at-seq, -resume, -verify and -follow are mutually exclusive"))
+	}
+
+	var want uint64
+	haveWant := false
+	if *sum != "" {
+		v, err := strconv.ParseUint(*sum, 16, 64)
+		if err != nil {
+			fatalUsage(fmt.Errorf("bad -checksum %q: %v", *sum, err))
+		}
+		want, haveWant = v, true
+	}
+
+	if *repair {
+		rep, err := commitlog.Repair(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Repaired {
+			fmt.Printf("repaired    truncated %d bytes, dropped %d segments, rebuilt %d indexes\n",
+				rep.TruncatedBytes, rep.DroppedSegments, rep.RewroteIndexes)
+		} else {
+			fmt.Println("repaired    log was already clean")
+		}
+		fmt.Printf("surviving   %d segments, %d records\n", rep.Segments, rep.Records)
+	}
+
+	var st *commitlog.State
+	var err error
+	switch {
+	case *follow:
+		st, err = followLog(*dir, *followPoll, *quiet)
+	case *verifyPath != "":
+		st, err = verifyAgainstJournal(*dir, *verifyPath, *quiet)
+	case *resume:
+		st, err = commitlog.Resume(*dir)
+	case *atSeq >= 0:
+		st, err = commitlog.ReplayToSeq(*dir, *atSeq)
+	default:
+		st, err = commitlog.Replay(*dir, *at)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if bench, ok := st.Meta()["bench"]; ok {
+		fmt.Printf("run         %s (runtime %s, %s threads, scale %s, seed %s)\n",
+			bench, st.Meta()["runtime"], st.Meta()["threads"], st.Meta()["scale"], st.Meta()["seed"])
+	}
+	fmt.Printf("replica     version %d (seq %d), %d commits applied, %d pages x %d bytes\n",
+		st.Version, st.AtSeq, st.Commits, st.NumPages(), st.PageSize())
+	if st.SawEnd {
+		fmt.Println("trailer     end trailer present, checksum verified against the replica")
+	}
+	fmt.Printf("checksum    %016x\n", st.Checksum())
+	if haveWant {
+		if st.Checksum() != want {
+			fmt.Fprintf(os.Stderr, "conseq-replay: checksum mismatch: replica %016x, expected %016x\n", st.Checksum(), want)
+			os.Exit(1)
+		}
+		fmt.Println("expected    checksum matches")
+	}
+}
+
+// verifyAgainstJournal replays the full log with a per-commit cross-check
+// against the run journal: both artifacts record each commit at the same
+// sync-order position, so the sequences must agree coordinate for
+// coordinate, and the replica's page content must hash to the journal's
+// recorded page hashes.
+func verifyAgainstJournal(dir, jpath string, quiet bool) (*commitlog.State, error) {
+	jd, err := journal.Load(jpath)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	st, err := commitlog.ReplayWith(dir, -1, func(st *commitlog.State, lc commitlog.Commit) error {
+		if i >= len(jd.Commits) {
+			return fmt.Errorf("verify: log has more commits than the journal (%d)", len(jd.Commits))
+		}
+		jc := jd.Commits[i]
+		i++
+		if lc.AtSeq != jc.AtSeq || lc.Version != jc.Version || lc.Tid != jc.Tid || lc.Clock != jc.Clock {
+			return fmt.Errorf("verify: commit %d: log (seq %d v%d tid %d clock %d) != journal (seq %d v%d tid %d clock %d)",
+				i-1, lc.AtSeq, lc.Version, lc.Tid, lc.Clock, jc.AtSeq, jc.Version, jc.Tid, jc.Clock)
+		}
+		if len(lc.Pages) != len(jc.Pages) {
+			return fmt.Errorf("verify: commit %d (v%d): %d logged pages, journal has %d",
+				i-1, lc.Version, len(lc.Pages), len(jc.Pages))
+		}
+		for k, pd := range lc.Pages {
+			if pd.Page != jc.Pages[k].Page {
+				return fmt.Errorf("verify: commit %d (v%d): page set diverges (%d vs %d)",
+					i-1, lc.Version, pd.Page, jc.Pages[k].Page)
+			}
+			if got := st.PageHash(pd.Page); got != jc.Pages[k].Hash {
+				return fmt.Errorf("verify: commit %d (v%d) page %d: replayed content hashes to %016x, journal recorded %016x",
+					i-1, lc.Version, pd.Page, got, jc.Pages[k].Hash)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if i != len(jd.Commits) {
+		return nil, fmt.Errorf("verify: log has %d commits, journal has %d", i, len(jd.Commits))
+	}
+	if !quiet {
+		fmt.Printf("verified    %d commits against %s: sequence, page sets and content hashes all agree\n", i, jpath)
+	}
+	return st, nil
+}
+
+// followLog tails a growing log directory: repeatedly reads whatever
+// complete records are durable (tolerant of a mid-write tail), prints
+// commits past the last seen version, and returns once the end trailer
+// appears. This is the out-of-process follower; in-process consumers use
+// commitlog.Log.Stream.
+func followLog(dir string, poll time.Duration, quiet bool) (*commitlog.State, error) {
+	last := int64(-1)
+	for {
+		r, err := commitlog.OpenReader(dir)
+		if err != nil {
+			// The writer may not have created the first segment yet.
+			time.Sleep(poll)
+			continue
+		}
+		done := false
+		_, err = r.ForEachAvailable(func(_ int64, rc commitlog.Record) error {
+			switch rc.Kind {
+			case commitlog.KindCommit:
+				if rc.Commit.Version > last {
+					last = rc.Commit.Version
+					if !quiet {
+						fmt.Printf("commit      v%d seq %d tid %d clock %d: %d pages\n",
+							rc.Commit.Version, rc.Commit.AtSeq, rc.Commit.Tid, rc.Commit.Clock, len(rc.Commit.Pages))
+					}
+				}
+			case commitlog.KindEnd:
+				done = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return commitlog.Replay(dir, -1)
+		}
+		time.Sleep(poll)
+	}
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "conseq-replay:", err)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conseq-replay:", err)
+	os.Exit(1)
+}

@@ -44,6 +44,7 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "arm seeded fault injection on the observed cell: profile[:seed] (see internal/chaos); the cell's checksum must be unchanged")
 	shards := flag.Int("shards", 1, "token-arbitration shards for the observed cell; >= 2 enables the scheduler scale-out trio (docs/scheduler.md) — results are unchanged by construction")
 	journalPath := flag.String("journal", "", "write the observed cell's divergence journal (internal/journal) to this file; compare two with conseq-diff — the cell's checksum is unchanged by construction")
+	commitLogDir := flag.String("commitlog", "", "write the observed cell's persistent commit log (internal/commitlog) into this empty directory; replay with conseq-replay — the cell's checksum is unchanged by construction")
 	flag.Parse()
 
 	var ths []int
@@ -91,9 +92,11 @@ func main() {
 		fmt.Println(text)
 	}
 
-	// A non-empty -chaos or -journal runs the observed cell even without a
-	// trace or listener: the printed checksum is the determinism evidence.
-	if *traceOut != "" || *listen != "" || *chaosSpec != "" || *journalPath != "" {
+	// A non-empty -chaos, -journal or -commitlog runs the observed cell even
+	// without a trace or listener: the printed checksum is the determinism
+	// evidence. Writer close errors (journal and commit log) surface through
+	// harness.Run's error, so a torn artifact fails the bench loudly.
+	if *traceOut != "" || *listen != "" || *chaosSpec != "" || *journalPath != "" || *commitLogDir != "" {
 		o := obs.New()
 		if *listen != "" {
 			srv, err := o.ListenAndServe(*listen)
@@ -104,21 +107,25 @@ func main() {
 			fmt.Printf("serving http://%s/metrics (and /debug/pprof) for the observed cell\n", srv.Addr())
 		}
 		res, err := harness.Run(harness.Options{
-			Bench:       *traceBench,
-			Runtime:     harness.Kind(*traceRuntime),
-			Threads:     ths[0],
-			Scale:       *scale,
-			Seed:        *seed,
-			Shards:      *shards,
-			Observer:    o,
-			Chaos:       *chaosSpec,
-			JournalPath: *journalPath,
+			Bench:        *traceBench,
+			Runtime:      harness.Kind(*traceRuntime),
+			Threads:      ths[0],
+			Scale:        *scale,
+			Seed:         *seed,
+			Shards:       *shards,
+			Observer:     o,
+			Chaos:        *chaosSpec,
+			JournalPath:  *journalPath,
+			CommitLogDir: *commitLogDir,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		if *journalPath != "" {
 			fmt.Printf("journal written to %s\n", *journalPath)
+		}
+		if *commitLogDir != "" {
+			fmt.Printf("commit log written to %s\n", *commitLogDir)
 		}
 		name := fmt.Sprintf("%s %s t=%d scale=%d seed=%d", *traceRuntime, *traceBench, ths[0], *scale, *seed)
 		if *traceOut != "" {

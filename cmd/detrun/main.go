@@ -13,6 +13,7 @@
 //	detrun -bench ferret -trace /tmp/ferret.json    # Chrome/Perfetto trace
 //	detrun -bench ferret -metrics                   # metrics snapshot
 //	detrun -bench ferret -journal /tmp/a.csqj       # divergence journal (conseq-diff)
+//	detrun -bench ferret -commitlog /tmp/alog       # persistent commit log (conseq-replay)
 //	detrun -bench ferret -analyze                   # critical-path report
 //	detrun -bench ferret -real -listen :9090        # live /metrics + pprof
 //	detrun -list
@@ -33,6 +34,7 @@ import (
 	"repro/internal/baseline/rfdet"
 	"repro/internal/chaos"
 	"repro/internal/clock"
+	"repro/internal/commitlog"
 	"repro/internal/costmodel"
 	"repro/internal/det"
 	"repro/internal/harness"
@@ -98,6 +100,7 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "real-host stall watchdog: if any thread stays blocked longer than this, dump per-thread diagnostics and exit non-zero (requires -real)")
 	timeout := flag.Duration("timeout", 0, "bound the run's host wall clock: on expiry dump goroutine stacks and runtime state and exit non-zero (e.g. 30s)")
 	journalPath := flag.String("journal", "", "write the run's divergence journal (sync events, hash checkpoints, commit page hashes) to this file; compare two with conseq-diff")
+	commitLogDir := flag.String("commitlog", "", "write the run's persistent commit log (committed page diffs, segmented) into this empty directory; replay with conseq-replay")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listChaos := flag.Bool("list-chaos", false, "list built-in chaos profiles and exit")
 	flag.Parse()
@@ -130,12 +133,18 @@ func main() {
 		if *journalPath != "" {
 			fatal(fmt.Errorf("-journal records a single run; use it without -verify (journal two runs and conseq-diff them instead)"))
 		}
+		if *commitLogDir != "" {
+			fatal(fmt.Errorf("-commitlog records a single run; use it without -verify"))
+		}
 		runVerify(spec, p, *rtName)
 		return
 	}
 	if *compare {
 		if *journalPath != "" {
 			fatal(fmt.Errorf("-journal records a single run; use it without -compare"))
+		}
+		if *commitLogDir != "" {
+			fatal(fmt.Errorf("-commitlog records a single run; use it without -compare"))
 		}
 		runCompare(spec, p)
 		return
@@ -176,6 +185,33 @@ func main() {
 		}
 		jr.SetJournal(jw)
 	}
+	var cl *commitlog.Log
+	if *commitLogDir != "" {
+		type loggable interface {
+			SetCommitLog(*commitlog.Log) error
+		}
+		lr, ok := rt.(loggable)
+		if !ok {
+			fatal(fmt.Errorf("runtime %q does not support commit logging (the consequence runtimes do)", *rtName))
+		}
+		cl, err = commitlog.Create(*commitLogDir, commitlog.Options{
+			Meta: map[string]string{
+				"bench":        spec.Name,
+				"runtime":      *rtName,
+				"threads":      fmt.Sprint(*threads),
+				"scale":        fmt.Sprint(*scale),
+				"seed":         fmt.Sprint(*seed),
+				"shards":       fmt.Sprint(*shardsFlag),
+				"shard-grants": fmt.Sprint(*shardsFlag >= 2),
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := lr.SetCommitLog(cl); err != nil {
+			fatal(err)
+		}
+	}
 	var observer *obs.Observer
 	if *traceOut != "" || *metrics || *analyzeRun || *listen != "" || *sample > 0 {
 		observer = attachObserver(rt)
@@ -205,6 +241,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if cl != nil {
+		if err := cl.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	st := rt.Stats()
 	fmt.Printf("benchmark   %s (%s, %s)\n", spec.Name, spec.Suite, spec.Class)
 	fmt.Printf("runtime     %s, %d threads, scale %d, seed %d\n", rt.Name(), *threads, *scale, *seed)
@@ -226,6 +267,11 @@ func main() {
 		js := jw.Stats()
 		fmt.Printf("journal     %s: %d events, %d commits, %d checkpoints, %d bytes (%d flush stalls)\n",
 			*journalPath, js.Events, js.Commits, js.Checkpoints, js.Bytes, js.FlushStalls)
+	}
+	if cl != nil {
+		cs := cl.Stats()
+		fmt.Printf("commitlog   %s: %d commits, %d snapshots, %d segments (%d rolls, %d truncated), %d bytes (%d append stalls)\n",
+			*commitLogDir, cs.Commits, cs.Snapshots, cs.Segments, cs.Rolls, cs.Truncated, cs.Bytes, cs.AppendStalls)
 	}
 	if tr := traceOf(rt); tr != nil && *dumpTrace > 0 {
 		evs := tr.Events()

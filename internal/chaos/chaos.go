@@ -62,6 +62,14 @@ type Profile struct {
 	// CommitDelayNS adds up to this many nanoseconds to each token-held
 	// serial commit phase: the injected commit slowdown.
 	CommitDelayNS int64
+	// LogStallNS stalls the commit log's drain goroutine by up to this
+	// many REAL nanoseconds at its write points (periodic record batches,
+	// segment rolls, snapshots): the injected slow-disk case. The stall is
+	// wall-clock only — the drain is off the critical path, so a stalled
+	// log exerts backpressure (visible as commitlog_append_stalls) but can
+	// never move modeled time or results, and the logged bytes themselves
+	// are unchanged; scripts/check.sh gates both.
+	LogStallNS int64
 }
 
 // profiles is the registry of built-in perturbation mixes. Amplitudes are
@@ -76,6 +84,7 @@ var profiles = []Profile{
 	{Name: "mispredict", MispredictPct: 60},
 	{Name: "barrier", BarrierSkewNS: 6_000},
 	{Name: "mem", FaultDelayNS: 2_000, CommitDelayNS: 4_000},
+	{Name: "logstall", LogStallNS: 500_000},
 	{
 		Name:              "storm",
 		ChargeJitterPct:   25,
@@ -85,6 +94,7 @@ var profiles = []Profile{
 		BarrierSkewNS:     3_000,
 		FaultDelayNS:      1_200,
 		CommitDelayNS:     2_500,
+		LogStallNS:        200_000,
 	},
 }
 
@@ -123,6 +133,8 @@ type Stats struct {
 	FaultDelayNS       int64
 	CommitDelays       int64
 	CommitDelayNS      int64
+	LogStalls          int64
+	LogStallNS         int64
 }
 
 // Injector is one run's perturbation source: a profile plus a seed.
@@ -146,6 +158,8 @@ type Injector struct {
 	faultDelayNS       atomic.Int64
 	commitDelays       atomic.Int64
 	commitDelayNS      atomic.Int64
+	logStalls          atomic.Int64
+	logStallNS         atomic.Int64
 }
 
 // New creates an injector for the named profile and seed.
@@ -201,6 +215,8 @@ func (in *Injector) Stats() Stats {
 		FaultDelayNS:       in.faultDelayNS.Load(),
 		CommitDelays:       in.commitDelays.Load(),
 		CommitDelayNS:      in.commitDelayNS.Load(),
+		LogStalls:          in.logStalls.Load(),
+		LogStallNS:         in.logStallNS.Load(),
 	}
 }
 
@@ -213,6 +229,7 @@ const (
 	saltOverflow = 0x6f766572 // "over": counter-overflow schedule
 	saltPredict  = 0x70726564 // "pred": write-set prediction filter
 	saltFault    = 0x666c7400 // "flt":  page-fault servicing
+	saltLog      = 0x6c6f6773 // "logs": commit-log drain stalls
 )
 
 // Stream is a per-(subsystem, thread) deterministic random sequence with
@@ -249,6 +266,10 @@ func (in *Injector) PredictStream(tid int) *Stream { return in.stream(saltPredic
 
 // FaultStream returns the fault-delay stream for tid.
 func (in *Injector) FaultStream(tid int) *Stream { return in.stream(saltFault, uint64(tid)) }
+
+// LogStream returns the commit-log drain-stall stream (one per run: the
+// drain goroutine is the stream's single owner).
+func (in *Injector) LogStream() *Stream { return in.stream(saltLog, 0) }
 
 // mix is the splitmix64 output permutation.
 func mix(x uint64) uint64 {
@@ -358,6 +379,20 @@ func (s *Stream) FaultDelay(page int) int64 {
 	if d > 0 {
 		s.in.faultDelays.Add(1)
 		s.in.faultDelayNS.Add(d)
+	}
+	return d
+}
+
+// LogStall returns the REAL nanoseconds to stall the commit-log drain
+// goroutine by at one of its write points.
+func (s *Stream) LogStall() int64 {
+	if s == nil || s.in.prof.LogStallNS <= 0 {
+		return 0
+	}
+	d := s.below(s.in.prof.LogStallNS + 1)
+	if d > 0 {
+		s.in.logStalls.Add(1)
+		s.in.logStallNS.Add(d)
 	}
 	return d
 }

@@ -1,0 +1,478 @@
+package commitlog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Test geometry: small pages so tests exercise multi-run diffs cheaply.
+const (
+	tPageSize = 64
+	tNumPages = 16
+)
+
+// mkCommits builds a deterministic synthetic commit stream: version v
+// writes a few bytes to pages keyed off v, with AtSeq/Clock advancing.
+func mkCommits(n int) []Commit {
+	cs := make([]Commit, 0, n)
+	for v := 1; v <= n; v++ {
+		c := Commit{AtSeq: int64(3 * v), Version: int64(v), Tid: v % 4, Clock: int64(100 * v)}
+		for k := 0; k < 1+v%3; k++ {
+			pg := (v*7 + k*5) % tNumPages
+			off := (v * 11) % (tPageSize - 8)
+			data := []byte{byte(v), byte(v >> 8), byte(k + 1), 0xAB}
+			c.Pages = append(c.Pages, PageDiff{Page: pg, Runs: []mem.Run{{Off: off, Data: data}}})
+		}
+		// Page order must ascend within a record (the decoder enforces the
+		// commit pipeline's deterministic order).
+		for i := 1; i < len(c.Pages); i++ {
+			for j := i; j > 0 && c.Pages[j-1].Page > c.Pages[j].Page; j-- {
+				c.Pages[j-1], c.Pages[j] = c.Pages[j], c.Pages[j-1]
+			}
+		}
+		dedup := c.Pages[:1]
+		for _, pd := range c.Pages[1:] {
+			if pd.Page != dedup[len(dedup)-1].Page {
+				dedup = append(dedup, pd)
+			}
+		}
+		c.Pages = dedup
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// applyRef applies commits to a reference page array (an independent
+// replay implementation the real one is checked against).
+func applyRef(pages [][]byte, c Commit) {
+	for _, pd := range c.Pages {
+		for _, r := range pd.Runs {
+			copy(pages[pd.Page][r.Off:], r.Data)
+		}
+	}
+}
+
+// refChecksum hashes the reference array the way det.Runtime.Checksum
+// hashes the live segment.
+func refChecksum(pages [][]byte) uint64 {
+	h := fnv.New64a()
+	for _, pg := range pages {
+		h.Write(pg)
+	}
+	return h.Sum64()
+}
+
+func freshRef() [][]byte {
+	pages := make([][]byte, tNumPages)
+	for i := range pages {
+		pages[i] = make([]byte, tPageSize)
+	}
+	return pages
+}
+
+// writeLog creates, fills and cleanly closes a log.
+func writeLog(t *testing.T, dir string, opts Options, commits []Commit) *Log {
+	t.Helper()
+	l, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(tPageSize, tNumPages); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commits {
+		l.Append(c)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	commits := mkCommits(40)
+	l := writeLog(t, dir, Options{Meta: map[string]string{"bench": "synthetic", "seed": "7"}}, commits)
+	if got := l.Stats().Commits; got != 40 {
+		t.Fatalf("stats count %d commits, want 40", got)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PageSize() != tPageSize || r.NumPages() != tNumPages {
+		t.Fatalf("geometry %dx%d", r.NumPages(), r.PageSize())
+	}
+	if r.Meta()["bench"] != "synthetic" || r.Meta()["seed"] != "7" {
+		t.Fatalf("meta %v", r.Meta())
+	}
+	var got []Commit
+	sawEnd := false
+	if err := r.ForEach(func(_ int64, rc Record) error {
+		switch rc.Kind {
+		case KindCommit:
+			got = append(got, rc.Commit)
+		case KindEnd:
+			sawEnd = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEnd {
+		t.Fatal("no end trailer after clean close")
+	}
+	if len(got) != len(commits) {
+		t.Fatalf("read %d commits, want %d", len(got), len(commits))
+	}
+	for i, c := range commits {
+		g := got[i]
+		if g.AtSeq != c.AtSeq || g.Version != c.Version || g.Tid != c.Tid || g.Clock != c.Clock || len(g.Pages) != len(c.Pages) {
+			t.Fatalf("commit %d decoded %+v, want %+v", i, g, c)
+		}
+		for j, pd := range c.Pages {
+			gp := g.Pages[j]
+			if gp.Page != pd.Page || len(gp.Runs) != len(pd.Runs) {
+				t.Fatalf("commit %d page %d decoded %+v, want %+v", i, j, gp, pd)
+			}
+			for k, run := range pd.Runs {
+				if gp.Runs[k].Off != run.Off || string(gp.Runs[k].Data) != string(run.Data) {
+					t.Fatalf("commit %d page %d run %d mismatch", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestByteDeterminism(t *testing.T) {
+	commits := mkCommits(300)
+	opts := Options{SegmentBytes: 2048, SnapshotEvery: 64, Meta: map[string]string{"run": "x"}}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeLog(t, dirA, opts, commits)
+	writeLog(t, dirB, opts, commits)
+	entsA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entsB, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entsA) != len(entsB) || len(entsA) < 4 {
+		t.Fatalf("segment sets differ or too few: %d vs %d files", len(entsA), len(entsB))
+	}
+	for i := range entsA {
+		if entsA[i].Name() != entsB[i].Name() {
+			t.Fatalf("file %d named %s vs %s", i, entsA[i].Name(), entsB[i].Name())
+		}
+		a, err := os.ReadFile(filepath.Join(dirA, entsA[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, entsB[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs between identical runs", entsA[i].Name())
+		}
+	}
+}
+
+func TestSegmentRollAndIndexLookup(t *testing.T) {
+	dir := t.TempDir()
+	commits := mkCommits(200)
+	l := writeLog(t, dir, Options{SegmentBytes: 1024, SnapshotEvery: -1}, commits)
+	st := l.Stats()
+	if st.Rolls == 0 || st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %+v", st)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Segments() != int(st.Segments) {
+		t.Fatalf("reader sees %d segments, writer says %d", r.Segments(), st.Segments)
+	}
+	// Every record's index entry must point at a frame that decodes to the
+	// record the sequential scan sees.
+	if err := r.ForEach(func(rec int64, rc Record) error {
+		base, pos, err := r.LookupIndex(rec)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", rec, err)
+		}
+		f, err := os.Open(r.storePath(base))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.Seek(pos, 0); err != nil {
+			return err
+		}
+		payload, err := readFrame(f)
+		if err != nil {
+			return fmt.Errorf("record %d via index: %w", rec, err)
+		}
+		got, err := decodeRecord(payload, r.PageSize(), r.NumPages())
+		if err != nil {
+			return err
+		}
+		if got.Kind != rc.Kind || got.Version() != rc.Version() {
+			return fmt.Errorf("record %d: index lookup decodes kind %d v%d, scan sees kind %d v%d",
+				rec, got.Kind, got.Version(), rc.Kind, rc.Version())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayResumeAndTimeTravel(t *testing.T) {
+	dir := t.TempDir()
+	commits := mkCommits(250)
+	// Small segments and frequent snapshots so Resume has a real anchor.
+	l := writeLog(t, dir, Options{SegmentBytes: 1500, SnapshotEvery: 50}, commits)
+	if l.Stats().Snapshots == 0 {
+		t.Fatal("no snapshots taken")
+	}
+
+	// Reference states per version, independently computed.
+	ref := freshRef()
+	sums := make(map[int64]uint64)
+	for _, c := range commits {
+		applyRef(ref, c)
+		sums[c.Version] = refChecksum(ref)
+	}
+
+	st, err := Replay(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SawEnd {
+		t.Fatal("full replay did not verify the end trailer")
+	}
+	if st.Version != 250 || st.Checksum() != sums[250] {
+		t.Fatalf("full replay v%d checksum %016x, want v250 %016x", st.Version, st.Checksum(), sums[250])
+	}
+
+	// Time travel: every 37th version, plus the edges.
+	for _, v := range []int64{1, 36, 37, 49, 50, 51, 123, 249, 250} {
+		st, err := Replay(dir, v)
+		if err != nil {
+			t.Fatalf("replay to %d: %v", v, err)
+		}
+		if st.Version != v || st.Checksum() != sums[v] {
+			t.Fatalf("replay to %d landed at v%d checksum %016x, want %016x", v, st.Version, st.Checksum(), sums[v])
+		}
+	}
+
+	// Replay by sync seq: AtSeq of version v is 3v, so seq 3v+1 includes
+	// exactly versions 1..v.
+	for _, v := range []int64{10, 100} {
+		st, err := ReplayToSeq(dir, 3*v+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version != v {
+			t.Fatalf("replay to seq %d landed at version %d, want %d", 3*v+1, st.Version, v)
+		}
+	}
+
+	// Resume must land on the same final state via the newest snapshot,
+	// touching fewer commits than the full history.
+	rst, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Checksum() != sums[250] || rst.Version != 250 {
+		t.Fatalf("resume checksum %016x at v%d, want %016x at v250", rst.Checksum(), rst.Version, sums[250])
+	}
+	if rst.Commits >= st.Commits {
+		t.Fatalf("resume applied %d commits, full replay %d — no snapshot shortcut", rst.Commits, st.Commits)
+	}
+
+	// Beyond-the-end target is an error, not a silent short replay.
+	if _, err := Replay(dir, 251); err == nil {
+		t.Fatal("replay past the end succeeded")
+	}
+}
+
+func TestRetentionTruncatesHistory(t *testing.T) {
+	dir := t.TempDir()
+	commits := mkCommits(300)
+	l := writeLog(t, dir, Options{SegmentBytes: 1024, SnapshotEvery: 40, RetainSnapshots: 2}, commits)
+	st := l.Stats()
+	if st.Truncated == 0 {
+		t.Fatalf("retention never truncated: %+v", st)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.bases[0] == 0 {
+		t.Fatal("record zero still present despite retention")
+	}
+	// The retained suffix must still resume to the true final state.
+	ref := freshRef()
+	for _, c := range commits {
+		applyRef(ref, c)
+	}
+	rst, err := Resume(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Checksum() != refChecksum(ref) {
+		t.Fatal("resume after truncation diverged")
+	}
+	// Full replay of the retained history works (snapshot anchor origin) …
+	if _, err := Replay(dir, -1); err != nil {
+		t.Fatal(err)
+	}
+	// … but replaying to a version older than the anchor must fail loudly.
+	if _, err := Replay(dir, 1); err == nil {
+		t.Fatal("replay to truncated version succeeded")
+	}
+}
+
+func TestStreamTailsHistoryAndLive(t *testing.T) {
+	dir := t.TempDir()
+	commits := mkCommits(120)
+	l, err := Create(dir, Options{SegmentBytes: 2048, SnapshotEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(tPageSize, tNumPages); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commits[:50] {
+		l.Append(c)
+	}
+	s, err := l.Stream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := make(chan []int64, 1)
+	go func() {
+		var vs []int64
+		for {
+			c, ok := s.Next()
+			if !ok {
+				break
+			}
+			vs = append(vs, c.Version)
+		}
+		recv <- vs
+	}()
+	for _, c := range commits[50:] {
+		l.Append(c)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vs := <-recv
+	if len(vs) != len(commits) {
+		t.Fatalf("follower saw %d commits, want %d", len(vs), len(commits))
+	}
+	for i, v := range vs {
+		if v != int64(i+1) {
+			t.Fatalf("follower position %d saw version %d", i, v)
+		}
+	}
+
+	// A mid-history start version only sees the tail.
+	dir2 := t.TempDir()
+	l2, _ := Create(dir2, Options{})
+	if err := l2.Begin(tPageSize, tNumPages); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commits {
+		l2.Append(c)
+	}
+	s2, err := l2.Stream(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		c, ok := s2.Next()
+		if !ok {
+			break
+		}
+		if c.Version < 100 {
+			t.Fatalf("follower from 100 saw version %d", c.Version)
+		}
+		n++
+	}
+	if n != 21 {
+		t.Fatalf("follower from 100 saw %d commits, want 21", n)
+	}
+}
+
+func TestCloseWithoutBeginAndEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Begin + immediate Close: a valid empty log with just the trailer.
+	dir2 := t.TempDir()
+	l2, err := Create(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Begin(tPageSize, tNumPages); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dir2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 0 || !st.SawEnd {
+		t.Fatalf("empty log replayed to v%d sawEnd=%v", st.Version, st.SawEnd)
+	}
+	// Create refuses a dir that already holds segments.
+	if _, err := Create(dir2, Options{}); err == nil {
+		t.Fatal("Create over an existing log succeeded")
+	}
+}
+
+func TestZeroRuns(t *testing.T) {
+	page := make([]byte, tPageSize)
+	page[3], page[4] = 1, 2
+	page[9] = 3  // gap of 4 zeros: merged
+	page[40] = 4 // far away: separate run
+	runs := zeroRuns(page)
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs %v, want 2", len(runs), runs)
+	}
+	if runs[0].Off != 3 || len(runs[0].Data) != 7 {
+		t.Fatalf("run 0 = %+v", runs[0])
+	}
+	if runs[1].Off != 40 || len(runs[1].Data) != 1 {
+		t.Fatalf("run 1 = %+v", runs[1])
+	}
+	rebuilt := make([]byte, tPageSize)
+	for _, r := range runs {
+		copy(rebuilt[r.Off:], r.Data)
+	}
+	if string(rebuilt) != string(page) {
+		t.Fatal("zero-run encoding does not round-trip")
+	}
+	if got := zeroRuns(make([]byte, tPageSize)); got != nil {
+		t.Fatalf("zero page encoded as %v", got)
+	}
+}

@@ -1,0 +1,338 @@
+package commitlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// frameInfo describes one record frame in a store file: where it ends and
+// the replica version after applying it.
+type frameInfo struct {
+	end     int64 // offset just past the frame
+	kind    byte
+	version int64 // last commit version as of this frame (inclusive)
+}
+
+// scanFrames parses a store file into (header end, per-frame info),
+// threading the running commit version through from `from`.
+func scanFrames(t *testing.T, path string, from int64) (int64, []frameInfo) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, _, err := readHeader(f); err != nil {
+		t.Fatal(err)
+	}
+	headerEnd, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []frameInfo
+	v := from
+	for {
+		payload, err := readFrame(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := decodeRecord(payload, tPageSize, tNumPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.Kind == KindCommit {
+			v = rc.Commit.Version
+		}
+		pos, err := f.Seek(0, io.SeekCurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frameInfo{end: pos, kind: rc.Kind, version: v})
+	}
+	return headerEnd, frames
+}
+
+// copyDir clones a log directory into a fresh temp dir.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// buildCrashFixture writes a multi-segment log plus the per-version
+// reference checksums (sums[0] is the untouched zero state).
+func buildCrashFixture(t *testing.T) (dir string, sums map[int64]uint64, lastBase int64, priorVersion int64) {
+	t.Helper()
+	dir = t.TempDir()
+	commits := mkCommits(160)
+	writeLog(t, dir, Options{SegmentBytes: 1500, SnapshotEvery: 40}, commits)
+
+	sums = map[int64]uint64{0: refChecksum(freshRef())}
+	ref := freshRef()
+	for _, c := range commits {
+		applyRef(ref, c)
+		sums[c.Version] = refChecksum(ref)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Segments() < 3 {
+		t.Fatalf("fixture has %d segments, want >=3", r.Segments())
+	}
+	lastBase = r.bases[len(r.bases)-1]
+	// Replay everything before the last segment to learn the version the
+	// last segment starts from.
+	for i := 0; i < len(r.bases)-1; i++ {
+		_, frames := scanFrames(t, r.storePath(r.bases[i]), priorVersion)
+		if len(frames) > 0 {
+			priorVersion = frames[len(frames)-1].version
+		}
+	}
+	return dir, sums, lastBase, priorVersion
+}
+
+// TestRepairEveryBoundary truncates the last segment's store at every
+// record boundary (and torn mid-frame just past each boundary) and
+// asserts Repair recovers exactly the surviving prefix, with a clean
+// checksum-verified replay.
+func TestRepairEveryBoundary(t *testing.T) {
+	dir, sums, lastBase, priorVersion := buildCrashFixture(t)
+	lastStore := filepath.Join(dir, segName(lastBase)) + ".store"
+	headerEnd, frames := scanFrames(t, lastStore, priorVersion)
+
+	check := func(t *testing.T, cutDir string, wantVersion int64) {
+		t.Helper()
+		rep, err := Repair(cutDir)
+		if err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		st, err := Replay(cutDir, -1)
+		if err != nil {
+			t.Fatalf("replay after repair (report %+v): %v", rep, err)
+		}
+		if st.Version != wantVersion {
+			t.Fatalf("repair kept prefix to version %d, want %d (report %+v)", st.Version, wantVersion, rep)
+		}
+		if st.Checksum() != sums[wantVersion] {
+			t.Fatalf("replayed checksum %016x, want %016x at version %d", st.Checksum(), sums[wantVersion], wantVersion)
+		}
+		// Repair is idempotent: a second pass finds nothing to fix.
+		rep2, err := Repair(cutDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep2.Repaired {
+			t.Fatalf("second repair still changed the log: %+v", rep2)
+		}
+	}
+
+	// Cut exactly at each boundary: the i-th cut keeps frames[0:i].
+	cuts := []int64{headerEnd}
+	for _, fr := range frames {
+		cuts = append(cuts, fr.end)
+	}
+	for i, cut := range cuts {
+		wantVersion := priorVersion
+		if i > 0 {
+			wantVersion = frames[i-1].version
+		}
+		cutDir := copyDir(t, dir)
+		if err := os.Truncate(filepath.Join(cutDir, segName(lastBase))+".store", cut); err != nil {
+			t.Fatal(err)
+		}
+		check(t, cutDir, wantVersion)
+
+		// Torn mid-frame: a few bytes of the next frame made it to disk.
+		if i < len(cuts)-1 && cuts[i+1] > cut+3 {
+			tornDir := copyDir(t, dir)
+			if err := os.Truncate(filepath.Join(tornDir, segName(lastBase))+".store", cut+3); err != nil {
+				t.Fatal(err)
+			}
+			check(t, tornDir, wantVersion)
+		}
+	}
+
+	// A cut inside the last segment's own header drops the segment whole.
+	hdrDir := copyDir(t, dir)
+	if err := os.Truncate(filepath.Join(hdrDir, segName(lastBase))+".store", 3); err != nil {
+		t.Fatal(err)
+	}
+	check(t, hdrDir, priorVersion)
+}
+
+// TestRepairCorruptMiddleSegment flips a payload byte in a middle
+// segment: the tear point truncates there and every later segment is
+// dropped, and the replay of the survivors still checksums clean.
+func TestRepairCorruptMiddleSegment(t *testing.T) {
+	dir, sums, _, _ := buildCrashFixture(t)
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midBase := r.bases[len(r.bases)/2]
+	midStore := r.storePath(midBase)
+	var prior int64
+	for i := 0; r.bases[i] != midBase; i++ {
+		_, frames := scanFrames(t, r.storePath(r.bases[i]), prior)
+		if len(frames) > 0 {
+			prior = frames[len(frames)-1].version
+		}
+	}
+	headerEnd, frames := scanFrames(t, midStore, prior)
+	if len(frames) < 2 {
+		t.Fatal("middle segment too small for the test")
+	}
+	// Corrupt a byte inside the second frame's payload.
+	victim := frames[1]
+	data, err := os.ReadFile(midStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[victim.end-1] ^= 0xFF
+	if err := os.WriteFile(midStore, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_ = headerEnd
+
+	rep, err := Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedSegments == 0 || !rep.Repaired {
+		t.Fatalf("corrupt middle segment not detected: %+v", rep)
+	}
+	st, err := Replay(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != frames[0].version {
+		t.Fatalf("survivors end at version %d, want %d", st.Version, frames[0].version)
+	}
+	if st.Checksum() != sums[st.Version] {
+		t.Fatal("surviving prefix replay diverged")
+	}
+}
+
+// TestRepairRebuildsIndex scribbles over an index file; Repair rebuilds
+// it from the store and LookupIndex works again.
+func TestRepairRebuildsIndex(t *testing.T) {
+	dir, _, lastBase, _ := buildCrashFixture(t)
+	idx := filepath.Join(dir, segName(lastBase)) + ".index"
+	if err := os.WriteFile(idx, []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RewroteIndexes == 0 {
+		t.Fatalf("index not rebuilt: %+v", rep)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ForEach(func(rec int64, rc Record) error {
+		_, _, err := r.LookupIndex(rec)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictReadRejectsTornTail documents the flip side of Repair: a
+// strict reader (ForEach / Replay) refuses a torn tail instead of
+// silently shortening history, while ForEachAvailable reads the prefix.
+func TestStrictReadRejectsTornTail(t *testing.T) {
+	dir, _, lastBase, _ := buildCrashFixture(t)
+	store := filepath.Join(dir, segName(lastBase)) + ".store"
+	fi, err := os.Stat(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(store, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, -1); err == nil {
+		t.Fatal("strict replay accepted a torn tail")
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := r.ForEachAvailable(func(int64, Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatal("tolerant read reported a torn log as complete")
+	}
+}
+
+// FuzzDecodeRecord throws arbitrary bytes at the record decoder: it must
+// reject or accept without panicking or over-allocating, and an accepted
+// commit must re-encode to the same decode.
+func FuzzDecodeRecord(f *testing.F) {
+	c := Commit{AtSeq: 9, Version: 4, Tid: 1, Clock: 77, Pages: []PageDiff{
+		{Page: 2, Runs: []mem.Run{{Off: 5, Data: []byte{1, 2, 3}}}},
+		{Page: 7, Runs: []mem.Run{{Off: 0, Data: bytes.Repeat([]byte{9}, 16)}}},
+	}}
+	f.Add(appendCommit(nil, c))
+	f.Add(appendSnapshot(nil, Snapshot{AtSeq: 3, Version: 2, Pages: []PageDiff{{Page: 0, Runs: []mem.Run{{Off: 1, Data: []byte{5}}}}}}))
+	f.Add(appendEnd(nil, End{Version: 11, Checksum: 0xdeadbeef}))
+	f.Add([]byte{})
+	f.Add([]byte{kindMeta})
+	f.Add(binary.LittleEndian.AppendUint32([]byte{KindCommit, 0xFF}, 1<<31))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rc, err := decodeRecord(payload, tPageSize, tNumPages)
+		if err != nil {
+			return
+		}
+		var re []byte
+		switch rc.Kind {
+		case KindCommit:
+			re = appendCommit(nil, rc.Commit)
+		case KindSnapshot:
+			re = appendSnapshot(nil, rc.Snapshot)
+		case KindEnd:
+			re = appendEnd(nil, rc.End)
+		default:
+			t.Fatalf("decoder accepted unknown kind %d", rc.Kind)
+		}
+		rc2, err := decodeRecord(re, tPageSize, tNumPages)
+		if err != nil {
+			t.Fatalf("re-encoded record rejected: %v", err)
+		}
+		if rc2.Kind != rc.Kind || rc2.Version() != rc.Version() {
+			t.Fatalf("re-encode changed the record: %+v vs %+v", rc, rc2)
+		}
+		// Geometry-free decode (the fuzz/repair path) must also cope.
+		if _, err := decodeRecord(payload, 0, 0); err != nil {
+			t.Fatalf("geometry-free decode rejected a valid record: %v", err)
+		}
+	})
+}

@@ -1,0 +1,513 @@
+package commitlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Log writer.
+type Options struct {
+	// SegmentBytes is the store-file size at which the active segment is
+	// rolled (default 1 MiB). A roll decision depends only on encoded byte
+	// counts, so identical runs roll at identical records.
+	SegmentBytes int
+	// SnapshotEvery writes a full-state snapshot (opening a fresh segment)
+	// after this many commit records (default 1024; negative disables).
+	// Snapshots bound Resume's replay tail and enable truncation.
+	SnapshotEvery int
+	// RetainSnapshots, when positive, truncates the log after each
+	// snapshot to the segments reachable from the k newest snapshots:
+	// bounded storage at the cost of full-history Replay. 0 keeps
+	// everything (the gate's replay-verify mode needs record zero).
+	RetainSnapshots int
+	// Meta is arbitrary run metadata persisted in every segment's meta
+	// frame (encoded in sorted key order).
+	Meta map[string]string
+}
+
+// Stats counts a Log's activity; all fields are lifetime totals.
+type Stats struct {
+	Commits      int64
+	Snapshots    int64
+	Segments     int64 // live segment-file pairs on disk
+	Rolls        int64
+	Truncated    int64 // segment-file pairs deleted by retention
+	Bytes        int64 // encoded bytes across all segments, including truncated ones
+	AppendStalls int64 // appends that blocked because the drain goroutine was behind
+	LastVersion  int64
+}
+
+// defaultSegmentBytes is the roll threshold when Options leaves it zero.
+const defaultSegmentBytes = 1 << 20
+
+// defaultSnapshotEvery is the snapshot cadence when Options leaves it zero.
+const defaultSnapshotEvery = 1024
+
+// appendQueueDepth bounds the record channel to the drain goroutine;
+// beyond it appends block (counted as AppendStalls).
+const appendQueueDepth = 256
+
+// perturbPeriod is the record cadence at which the drain goroutine
+// consults the chaos perturb hook (it also fires on every roll).
+const perturbPeriod = 128
+
+// Log is an append-only commit-log writer. Create it, attach it to a
+// runtime (det.Runtime.SetCommitLog calls Begin with the segment
+// geometry), and Close it after the run to flush, write the end trailer
+// and surface any I/O error. Appends are cheap and off the file-I/O path:
+// records are handed to a background drain goroutine over a bounded
+// queue, the journal's block-drain discipline at record granularity. The
+// drain goroutine owns all files, the snapshot replica and the
+// subscriber list, so no file state needs locking.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // guards begun/closed and the send-side of ch
+	begun    bool
+	closed   bool
+	ch       chan logMsg
+	done     chan struct{}
+	closeErr error
+
+	pageSize int
+	npages   int
+
+	// perturb, when non-nil, is the chaos write-stall hook: the drain
+	// goroutine sleeps the returned nanoseconds of real time before its
+	// periodic I/O (never modeled time — backpressure must not move
+	// results). Set before Begin; called only from the drain goroutine.
+	perturb func() int64
+
+	commits     atomic.Int64
+	snapshots   atomic.Int64
+	segments    atomic.Int64
+	rolls       atomic.Int64
+	truncated   atomic.Int64
+	bytes       atomic.Int64
+	stalls      atomic.Int64
+	lastVersion atomic.Int64
+}
+
+// logMsg is one unit of work for the drain goroutine.
+type logMsg struct {
+	commit *Commit
+	sub    *Stream // subscribe request when non-nil
+	from   int64   // subscribe start version
+	unsub  *Stream // unsubscribe request when non-nil
+}
+
+// Create prepares an empty log directory (created if absent; must contain
+// no segment files). Nothing is written until Begin supplies the memory
+// geometry.
+func Create(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SegmentBytes < len(storeMagic)+frameHeaderLen {
+		return nil, fmt.Errorf("commitlog: segment size %d too small", opts.SegmentBytes)
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	existing, err := filepath.Glob(filepath.Join(dir, "*.store"))
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		return nil, fmt.Errorf("commitlog: directory %s already holds %d segment(s)", dir, len(existing))
+	}
+	return &Log{dir: dir, opts: opts}, nil
+}
+
+// SetPerturb installs the chaos write-stall hook; must be called before
+// Begin (the drain goroutine reads it unlocked). The hook runs on the
+// drain goroutine only, so a single-owner chaos stream is safe.
+func (l *Log) SetPerturb(f func() int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.begun {
+		panic("commitlog: SetPerturb after Begin")
+	}
+	l.perturb = f
+}
+
+// Begin fixes the replica geometry and starts the drain goroutine; the
+// attaching runtime calls it once with its segment's page size and page
+// count. The first segment (with its meta frame) is created here so
+// creation errors surface synchronously.
+func (l *Log) Begin(pageSize, npages int) error {
+	if pageSize <= 0 || pageSize > maxPageSize || npages <= 0 || npages > maxNumPages {
+		return fmt.Errorf("commitlog: implausible geometry %d pages x %d bytes", npages, pageSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.begun {
+		return fmt.Errorf("commitlog: Begin called twice")
+	}
+	if l.closed {
+		return fmt.Errorf("commitlog: Begin after Close")
+	}
+	l.pageSize, l.npages = pageSize, npages
+	keys := make([]string, 0, len(l.opts.Meta))
+	for k := range l.opts.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	header := append([]byte(nil), storeMagic...)
+	header = appendFrame(header, appendMeta(nil, pageSize, npages, keys, l.opts.Meta))
+	d := &drain{
+		l:      l,
+		header: header,
+		pages:  make(map[int][]byte),
+	}
+	if err := d.openSegment(0); err != nil {
+		return err
+	}
+	l.ch = make(chan logMsg, appendQueueDepth)
+	l.done = make(chan struct{})
+	l.begun = true
+	go d.run()
+	return nil
+}
+
+// Append records one committed version. Called token-held at the commit
+// sites; the encode and file I/O happen on the drain goroutine, so the
+// token-held cost is one channel send (or a blocking wait, counted as an
+// AppendStall, when the drain is behind — real time only, never modeled
+// time). Appends after Close, or before Begin, are dropped.
+func (l *Log) Append(c Commit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.begun || l.closed {
+		return
+	}
+	msg := logMsg{commit: &c}
+	select {
+	case l.ch <- msg:
+	default:
+		l.stalls.Add(1)
+		l.ch <- msg
+	}
+	l.commits.Add(1)
+	l.lastVersion.Store(c.Version)
+}
+
+// Close flushes buffered records, writes the end trailer (final version +
+// replica checksum), closes the segment files and returns the first I/O
+// error encountered anywhere in the log's lifetime. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	first := !l.closed
+	l.closed = true
+	begun := l.begun
+	l.mu.Unlock()
+	if !begun {
+		return nil
+	}
+	if first {
+		close(l.ch)
+	}
+	<-l.done
+	return l.closeErr
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats snapshots the activity counters (safe mid-run).
+func (l *Log) Stats() Stats {
+	return Stats{
+		Commits:      l.commits.Load(),
+		Snapshots:    l.snapshots.Load(),
+		Segments:     l.segments.Load(),
+		Rolls:        l.rolls.Load(),
+		Truncated:    l.truncated.Load(),
+		Bytes:        l.bytes.Load(),
+		AppendStalls: l.stalls.Load(),
+		LastVersion:  l.lastVersion.Load(),
+	}
+}
+
+// segState tracks live segments for the drain goroutine's retention scan.
+type segState struct {
+	base        int64
+	snapshotLed bool // first record is a snapshot (Resume/truncation anchor)
+}
+
+// drain is the background goroutine's state: the active segment pair,
+// the replica (for snapshot records and the end-trailer checksum), and
+// the live-subscriber list. Single-goroutine ownership; the producer side
+// only touches the channel and atomics.
+type drain struct {
+	l      *Log
+	header []byte // magic + meta frame, repeated per segment
+
+	store     *os.File
+	index     *os.File
+	sw        *bufio.Writer
+	iw        *bufio.Writer
+	storeSize int64
+	segRecs   int64 // records in the active segment
+	base      int64 // active segment's base record number
+
+	nextRec     int64
+	segs        []segState
+	pages       map[int][]byte // replica state (absent page = zero page)
+	lastVersion int64
+	lastAtSeq   int64
+	sinceSnap   int
+	handled     int64
+	subs        []*Stream
+	scratch     []byte // payload encode buffer, reused across records
+
+	err error // first I/O error; later writes are skipped
+}
+
+// run is the drain loop: consume records until the channel closes, then
+// write the end trailer and shut everything down.
+func (d *drain) run() {
+	for msg := range d.l.ch {
+		switch {
+		case msg.commit != nil:
+			d.handleCommit(*msg.commit)
+		case msg.sub != nil:
+			d.handleSubscribe(msg.sub, msg.from)
+		case msg.unsub != nil:
+			d.handleUnsubscribe(msg.unsub)
+		}
+	}
+	d.writeRecord(appendEnd(d.scratch[:0], End{Version: d.lastVersion, Checksum: d.checksum()}))
+	d.closeSegment()
+	for _, s := range d.subs {
+		s.finish()
+	}
+	d.l.closeErr = d.err
+	close(d.l.done)
+}
+
+// handleCommit encodes and persists one commit record, advances the
+// replica, fans out to subscribers, and applies the snapshot/roll/
+// retention policy — all pure functions of the record stream.
+func (d *drain) handleCommit(c Commit) {
+	payload := appendCommit(d.scratch[:0], c)
+	frameLen := int64(frameHeaderLen + len(payload))
+	// Fixed-size segments: roll first if this record would overflow a
+	// non-empty segment (an oversized single record still gets a segment
+	// to itself).
+	if d.segRecs > 0 && d.storeSize+frameLen > int64(d.l.opts.SegmentBytes) {
+		d.roll()
+	}
+	d.writeRecord(payload)
+	d.scratch = payload[:0]
+	d.apply(c.Pages)
+	d.lastVersion, d.lastAtSeq = c.Version, c.AtSeq
+	for _, s := range d.subs {
+		s.push(c)
+	}
+	d.sinceSnap++
+	if d.l.opts.SnapshotEvery > 0 && d.sinceSnap >= d.l.opts.SnapshotEvery {
+		d.takeSnapshot()
+	}
+	d.handled++
+	if d.l.perturb != nil && d.handled%perturbPeriod == 0 {
+		d.stall()
+	}
+}
+
+// stall sleeps the chaos hook's real-time delay (the write-stall fault).
+func (d *drain) stall() {
+	if ns := d.l.perturb(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
+// apply advances the replica by one record's page diffs.
+func (d *drain) apply(pages []PageDiff) {
+	for _, pd := range pages {
+		buf := d.pages[pd.Page]
+		if buf == nil {
+			buf = make([]byte, d.l.pageSize)
+			d.pages[pd.Page] = buf
+		}
+		for _, r := range pd.Runs {
+			copy(buf[r.Off:], r.Data)
+		}
+	}
+}
+
+// checksum hashes the full replica state — every page in ascending order,
+// absent pages as zeros — exactly as the live runtime's Checksum does.
+func (d *drain) checksum() uint64 {
+	h := fnv.New64a()
+	zero := make([]byte, d.l.pageSize)
+	for pg := 0; pg < d.l.npages; pg++ {
+		if buf, ok := d.pages[pg]; ok {
+			h.Write(buf)
+		} else {
+			h.Write(zero)
+		}
+	}
+	return h.Sum64()
+}
+
+// takeSnapshot rolls to a fresh segment and writes the replica's non-zero
+// pages as its first record, then applies the retention policy. A
+// snapshot-led segment is a self-contained replay anchor.
+func (d *drain) takeSnapshot() {
+	d.roll()
+	snap := Snapshot{AtSeq: d.lastAtSeq, Version: d.lastVersion}
+	pgs := make([]int, 0, len(d.pages))
+	for pg := range d.pages {
+		pgs = append(pgs, pg)
+	}
+	sort.Ints(pgs)
+	for _, pg := range pgs {
+		if runs := zeroRuns(d.pages[pg]); len(runs) > 0 {
+			snap.Pages = append(snap.Pages, PageDiff{Page: pg, Runs: runs})
+		}
+	}
+	d.writeRecord(appendSnapshot(d.scratch[:0], snap))
+	d.segs[len(d.segs)-1].snapshotLed = true
+	d.sinceSnap = 0
+	d.l.snapshots.Add(1)
+	if d.l.perturb != nil {
+		d.stall()
+	}
+	d.truncate()
+}
+
+// truncate deletes segments older than the RetainSnapshots-th newest
+// snapshot anchor.
+func (d *drain) truncate() {
+	keep := d.l.opts.RetainSnapshots
+	if keep <= 0 {
+		return
+	}
+	anchor := -1
+	seen := 0
+	for i := len(d.segs) - 1; i >= 0; i-- {
+		if d.segs[i].snapshotLed {
+			seen++
+			if seen == keep {
+				anchor = i
+				break
+			}
+		}
+	}
+	if anchor <= 0 {
+		return
+	}
+	for _, s := range d.segs[:anchor] {
+		for _, ext := range []string{".store", ".index"} {
+			if err := os.Remove(filepath.Join(d.l.dir, segName(s.base)+ext)); err != nil && d.err == nil {
+				d.err = err
+			}
+		}
+		d.l.truncated.Add(1)
+		d.l.segments.Add(-1)
+	}
+	d.segs = append([]segState(nil), d.segs[anchor:]...)
+}
+
+// writeRecord frames a payload into the active segment and records its
+// index entry.
+func (d *drain) writeRecord(payload []byte) {
+	if d.err != nil {
+		return
+	}
+	var ent [entWidth]byte
+	binary.LittleEndian.PutUint32(ent[0:4], uint32(d.segRecs))
+	binary.LittleEndian.PutUint64(ent[4:12], uint64(d.storeSize))
+	if _, err := d.iw.Write(ent[:]); err != nil {
+		d.err = err
+		return
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := d.sw.Write(frame); err != nil {
+		d.err = err
+		return
+	}
+	d.storeSize += int64(len(frame))
+	d.segRecs++
+	d.nextRec++
+	d.l.bytes.Add(int64(len(frame)))
+}
+
+// openSegment creates the segment pair based at the given record number
+// and writes the store header.
+func (d *drain) openSegment(base int64) error {
+	name := filepath.Join(d.l.dir, segName(base))
+	store, err := os.OpenFile(name+".store", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	index, err := os.OpenFile(name+".index", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	d.store, d.index = store, index
+	d.sw = bufio.NewWriterSize(store, 64<<10)
+	d.iw = bufio.NewWriterSize(index, 8<<10)
+	if _, err := d.sw.Write(d.header); err != nil {
+		return err
+	}
+	d.storeSize = int64(len(d.header))
+	d.segRecs = 0
+	d.base = base
+	d.segs = append(d.segs, segState{base: base})
+	d.l.segments.Add(1)
+	d.l.bytes.Add(int64(len(d.header)))
+	return nil
+}
+
+// closeSegment flushes and closes the active pair.
+func (d *drain) closeSegment() {
+	if d.store == nil {
+		return
+	}
+	for _, f := range []func() error{d.sw.Flush, d.iw.Flush, d.store.Close, d.index.Close} {
+		if err := f(); err != nil && d.err == nil {
+			d.err = err
+		}
+	}
+	d.store, d.index = nil, nil
+}
+
+// roll closes the active segment and opens the next.
+func (d *drain) roll() {
+	d.closeSegment()
+	if err := d.openSegment(d.nextRec); err != nil && d.err == nil {
+		d.err = err
+	}
+	d.l.rolls.Add(1)
+	if d.l.perturb != nil {
+		d.stall()
+	}
+}
+
+// flush pushes buffered store/index bytes to disk (subscribe requests
+// read history from the files).
+func (d *drain) flush() {
+	if d.err != nil || d.store == nil {
+		return
+	}
+	if err := d.sw.Flush(); err != nil {
+		d.err = err
+	}
+	if err := d.iw.Flush(); err != nil && d.err == nil {
+		d.err = err
+	}
+}

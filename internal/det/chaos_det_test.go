@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/chaos"
+	"repro/internal/commitlog"
 	"repro/internal/costmodel"
 	"repro/internal/det"
 	"repro/internal/host/simhost"
@@ -64,7 +65,27 @@ func TestChaosPreservesResults(t *testing.T) {
 				}
 				c := cfg()
 				c.Chaos = in
+				// The logstall knob only has a target with a commit log
+				// attached; give stall-bearing profiles one, with segment
+				// and snapshot cadences small enough that the drain's
+				// stall points (rolls, snapshots) actually fire.
+				var cl *commitlog.Log
+				if in.Profile().LogStallNS > 0 {
+					var err error
+					cl, err = commitlog.Create(t.TempDir(), commitlog.Options{
+						SegmentBytes: 4096, SnapshotEvery: 8,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.CommitLog = cl
+				}
 				sum, tr, _ := run(t, c, simhost.New(costmodel.Default()), mixedProg(4, 12))
+				if cl != nil {
+					if err := cl.Close(); err != nil {
+						t.Fatal(err)
+					}
+				}
 				if sum != baseSum {
 					t.Errorf("checksum %016x != unperturbed %016x", sum, baseSum)
 				}
@@ -73,7 +94,7 @@ func TestChaosPreservesResults(t *testing.T) {
 				}
 				st := in.Stats()
 				injected := st.ChargeJitterEvents + st.WakeDelays + st.OverflowShrinks +
-					st.MispredictDrops + st.BarrierSkews + st.FaultDelays + st.CommitDelays
+					st.MispredictDrops + st.BarrierSkews + st.FaultDelays + st.CommitDelays + st.LogStalls
 				if injected == 0 {
 					t.Errorf("profile %s injected nothing — the gate would be vacuous", profile)
 				}

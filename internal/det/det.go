@@ -32,6 +32,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/clock"
+	"repro/internal/commitlog"
 	"repro/internal/costmodel"
 	"repro/internal/host"
 	"repro/internal/journal"
@@ -213,6 +214,18 @@ type Config struct {
 	// so results (checksums, sync traces) are identical with chaos on or
 	// off; scripts/check.sh gates on exactly that.
 	Chaos *chaos.Injector
+
+	// CommitLog, when non-nil, attaches a persistent commit log: both
+	// commit sites append each published version's page diffs (sync-order
+	// seq, tid, clock, per-page byte runs) to the segmented on-disk log,
+	// from which internal/commitlog can Replay any version, Resume a run,
+	// or Stream committed versions to a live follower (docs/commitlog.md).
+	// Equivalent to calling SetCommitLog before Run. Logging never changes
+	// results — checksums and sync traces are byte-identical with the log
+	// on or off, and identical runs produce byte-identical log files;
+	// scripts/check.sh gates both. The caller owns the log and must Close
+	// it after Run to flush.
+	CommitLog *commitlog.Log
 }
 
 // Default returns the full Consequence-IC configuration, all optimizations
@@ -302,6 +315,7 @@ type Runtime struct {
 	hooks   Hooks
 	obs     *obs.Observer
 	journal *journal.Writer
+	clog    *commitlog.Log
 
 	mu      sync.Mutex // guards threads map, pool and workers
 	threads map[int]*Thread
@@ -410,6 +424,11 @@ func New(cfg Config, h host.Host) (*Runtime, error) {
 	}
 	if cfg.ShardGrants {
 		rt.arb.EnableShardGrants(cfg.Shards)
+	}
+	if cfg.CommitLog != nil {
+		if err := rt.SetCommitLog(cfg.CommitLog); err != nil {
+			return nil, err
+		}
 	}
 	return rt, nil
 }
@@ -521,6 +540,7 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	r.Func("det_barrier_wait_ns", aggFunc(func(s api.RunStats) int64 { return s.BarrierWaitNS }))
 	r.Func("det_commit_ns", aggFunc(func(s api.RunStats) int64 { return s.CommitNS }))
 	rt.registerJournalMetrics()
+	rt.registerCommitLogMetrics()
 }
 
 // SetJournal attaches a run journal; must be called before Run (nil
@@ -560,6 +580,54 @@ func (rt *Runtime) registerJournalMetrics() {
 	r.Func("journal_checkpoints", jFunc(func(s journal.Stats) int64 { return s.Checkpoints }))
 	r.Func("journal_bytes", jFunc(func(s journal.Stats) int64 { return s.Bytes }))
 	r.Func("journal_flush_stalls", jFunc(func(s journal.Stats) int64 { return s.FlushStalls }))
+}
+
+// SetCommitLog attaches a persistent commit log; must be called before
+// Run. The log is bound to the runtime's memory geometry (Begin) and from
+// then on both commit sites append each published version's page diffs at
+// its sync-order position (the same AtSeq interleave contract the run
+// journal uses, so the two artifacts cross-reference record for record).
+// With a chaos injector armed, the log's write path is perturbed by the
+// injector's logstall stream — real-time-only stalls that exercise
+// backpressure without touching results. The caller owns the log and must
+// Close it after Run to flush and write the end trailer.
+func (rt *Runtime) SetCommitLog(l *commitlog.Log) error {
+	if rt.started {
+		panic("det: SetCommitLog after Run")
+	}
+	rt.clog = l
+	if l == nil {
+		return nil
+	}
+	if rt.cfg.Chaos != nil {
+		cs := rt.cfg.Chaos.LogStream()
+		l.SetPerturb(func() int64 { return cs.LogStall() })
+	}
+	if err := l.Begin(rt.seg.PageSize(), rt.seg.NumPages()); err != nil {
+		return err
+	}
+	rt.registerCommitLogMetrics()
+	return nil
+}
+
+// registerCommitLogMetrics exposes commitlog_* func gauges once both an
+// observer and a commit log are attached (either attach order works:
+// SetObserver and SetCommitLog both call this).
+func (rt *Runtime) registerCommitLogMetrics() {
+	if rt.obs == nil || rt.clog == nil {
+		return
+	}
+	r := rt.obs.Registry()
+	cFunc := func(f func(commitlog.Stats) int64) func() int64 {
+		return func() int64 { return f(rt.clog.Stats()) }
+	}
+	r.Func("commitlog_commits", cFunc(func(s commitlog.Stats) int64 { return s.Commits }))
+	r.Func("commitlog_snapshots", cFunc(func(s commitlog.Stats) int64 { return s.Snapshots }))
+	r.Func("commitlog_segments", cFunc(func(s commitlog.Stats) int64 { return s.Segments }))
+	r.Func("commitlog_rolls", cFunc(func(s commitlog.Stats) int64 { return s.Rolls }))
+	r.Func("commitlog_truncated", cFunc(func(s commitlog.Stats) int64 { return s.Truncated }))
+	r.Func("commitlog_bytes", cFunc(func(s commitlog.Stats) int64 { return s.Bytes }))
+	r.Func("commitlog_append_stalls", cFunc(func(s commitlog.Stats) int64 { return s.AppendStalls }))
 }
 
 // Observer returns the attached observability layer, or nil.

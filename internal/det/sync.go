@@ -266,6 +266,7 @@ func (t *Thread) BarrierWait(bx api.Barrier) {
 		st := pc.Stats()
 		t.chargeCommitSerial(st)
 		t.journalCommit(pc.Version())
+		t.logCommit(pc.Version())
 		if h := t.rt.hooks; h != nil {
 			h.OnCommit(t.tid, pc.Version())
 			h.OnRelease(t.tid, bar.id) // entry edge: after the commit

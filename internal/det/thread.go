@@ -6,6 +6,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/clock"
+	"repro/internal/commitlog"
 	"repro/internal/host"
 	"repro/internal/journal"
 	"repro/internal/mem"
@@ -698,6 +699,7 @@ func (t *Thread) commitAndUpdate() {
 	st := pc.Stats()
 	t.chargeCommitSerial(st)
 	t.journalCommit(pc.Version())
+	t.logCommit(pc.Version())
 	pc.Complete()
 	t.charge(obs.PhaseMerge, int64(st.CommittedPages)*m.CommitPageMerge)
 	t.mark(obs.MarkCommit, int64(st.CommittedPages))
@@ -750,6 +752,31 @@ func (t *Thread) journalCommit(v *mem.Version) {
 		c.Pages = append(c.Pages, journal.PageHash{Page: pg, Hash: h})
 	})
 	jw.RecordCommit(c)
+}
+
+// logCommit appends a just-published version's page diffs to the commit
+// log (no-op without one, or for empty commits). Called token-held at the
+// same point as journalCommit, so the two artifacts share the AtSeq
+// interleave contract and cross-reference record for record. The diffs
+// are the committer's own byte runs — immutable once published — so the
+// log's drain goroutine can encode them off the critical path without
+// copying.
+func (t *Thread) logCommit(v *mem.Version) {
+	l := t.rt.clog
+	if l == nil || v == nil {
+		return
+	}
+	c := commitlog.Commit{
+		AtSeq:   t.rt.rec.Len(),
+		Version: v.Num,
+		Tid:     t.tid,
+		Clock:   t.icount,
+	}
+	c.Pages = make([]commitlog.PageDiff, 0, len(v.Pages))
+	v.ForEachPageDiff(func(pg int, d mem.Diff) {
+		c.Pages = append(c.Pages, commitlog.PageDiff{Page: pg, Runs: d.Runs})
+	})
+	l.Append(c)
 }
 
 // Sync-site kinds, composed with the operation's object id into the

@@ -17,6 +17,7 @@ import (
 	"repro/internal/baseline/rfdet"
 	"repro/internal/chaos"
 	"repro/internal/clock"
+	"repro/internal/commitlog"
 	"repro/internal/costmodel"
 	"repro/internal/det"
 	"repro/internal/host/simhost"
@@ -80,6 +81,15 @@ type Options struct {
 	// identical cells write byte-identical journals — scripts/check.sh
 	// asserts both.
 	JournalPath string
+	// CommitLogDir, when non-empty, writes the run's persistent commit log
+	// (internal/commitlog: every committed version's page diffs in a
+	// segmented, CRC-framed on-disk log) into this directory, which must be
+	// empty. Consequence runtimes only. Like journaling, logging is
+	// observation off the token critical path: the cell's checksum and sync
+	// trace are identical with it on or off, identical cells write
+	// byte-identical logs, and conseq-replay reconstructs the cell's final
+	// state from the directory — scripts/check.sh gates all three.
+	CommitLogDir string
 }
 
 // Result is one run's outcome.
@@ -110,6 +120,9 @@ func Run(o Options) (res Result, retErr error) {
 	}
 	if o.JournalPath != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
 		return Result{}, fmt.Errorf("harness: journaling requires a consequence runtime (got %s)", o.Runtime)
+	}
+	if o.CommitLogDir != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
+		return Result{}, fmt.Errorf("harness: commit logging requires a consequence runtime (got %s)", o.Runtime)
 	}
 
 	var rt api.Runtime
@@ -163,6 +176,32 @@ func Run(o Options) (res Result, retErr error) {
 			defer func() {
 				if cerr := jw.Close(); cerr != nil && retErr == nil {
 					retErr = fmt.Errorf("harness: closing journal: %w", cerr)
+				}
+			}()
+		}
+		if o.CommitLogDir != "" {
+			cl, err := commitlog.Create(o.CommitLogDir, commitlog.Options{
+				Meta: map[string]string{
+					"bench":        o.Bench,
+					"runtime":      string(o.Runtime),
+					"threads":      fmt.Sprint(o.Threads),
+					"scale":        fmt.Sprint(o.Scale),
+					"seed":         fmt.Sprint(o.Seed),
+					"shards":       fmt.Sprint(max(o.Shards, 1)),
+					"shard-grants": fmt.Sprint(o.Shards >= 2),
+				},
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			if err := drt.SetCommitLog(cl); err != nil {
+				return Result{}, err
+			}
+			// Like the journal close: a deferred-close write error must
+			// surface as the cell's error, not vanish.
+			defer func() {
+				if cerr := cl.Close(); cerr != nil && retErr == nil {
+					retErr = fmt.Errorf("harness: closing commit log: %w", cerr)
 				}
 			}()
 		}

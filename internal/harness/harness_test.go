@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/commitlog"
 	"repro/internal/det"
 	"repro/internal/journal"
 )
@@ -146,6 +147,43 @@ func TestJournalPathOption(t *testing.T) {
 		JournalPath: filepath.Join(dir, "p.csqj"),
 	}); err == nil {
 		t.Error("journaling accepted on a non-consequence runtime")
+	}
+}
+
+// CommitLogDir must attach the persistent commit log without changing
+// the cell's result, replay to the cell's exact checksum, and refuse
+// non-consequence runtimes.
+func TestCommitLogDirOption(t *testing.T) {
+	o := Options{Bench: "word_count", Runtime: KindConsequenceIC, Threads: 4, Scale: 1, Seed: 9}
+	plain, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol := o
+	ol.CommitLogDir = filepath.Join(t.TempDir(), "clog")
+	a, err := Run(ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != plain.Checksum || a.WallNS != plain.WallNS {
+		t.Fatalf("commit logging perturbed the cell: sum %x vs %x, wall %d vs %d",
+			a.Checksum, plain.Checksum, a.WallNS, plain.WallNS)
+	}
+	st, err := commitlog.Replay(ol.CommitLogDir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checksum() != plain.Checksum {
+		t.Fatalf("replayed checksum %016x, cell %016x", st.Checksum(), plain.Checksum)
+	}
+	if st.Meta()["bench"] != "word_count" || st.Meta()["threads"] != "4" {
+		t.Fatalf("commit log meta incomplete: %v", st.Meta())
+	}
+	if _, err := Run(Options{
+		Bench: "histogram", Runtime: KindPthreads, Threads: 2,
+		CommitLogDir: filepath.Join(t.TempDir(), "clog"),
+	}); err == nil {
+		t.Error("commit logging accepted on a non-consequence runtime")
 	}
 }
 

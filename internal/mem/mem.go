@@ -147,6 +147,20 @@ func (v *Version) ForEachPageHash(f func(page int, hash uint64)) {
 	}
 }
 
+// ForEachPageDiff calls f with the committer's own byte changes for every
+// page this version modified, in ascending page order. Unlike
+// ForEachPageHash this exposes the diff itself, not the merged content:
+// replaying each version's diffs in version order onto a zero replica
+// reproduces the committed content exactly (the merge chain resolves to
+// "previous content + this diff" for conflict and non-conflict slots
+// alike), which is what the commit log persists. The Diff's run data
+// aliases the version's immutable buffers: read-only.
+func (v *Version) ForEachPageDiff(f func(page int, d Diff)) {
+	for _, slot := range v.slots {
+		f(slot.page, slot.diff)
+	}
+}
+
 // pageSlot is the unit of the per-page merge chain. prev points at the slot
 // holding the page's content as of the previous version touching it (nil
 // means the segment base table / zero page). data is filled in during

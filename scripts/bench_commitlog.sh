@@ -1,0 +1,51 @@
+#!/bin/sh
+# Commit-log micro-benchmarks: the append hot path (BenchmarkCommitLogAppend
+# — a committing thread handing one version's diffs to the drain goroutine,
+# with the encoded log bytes per commit reported alongside) and full-log
+# reconstruction (BenchmarkReplay — commits replayed per op across segment
+# and snapshot boundaries). Emits BENCH_commitlog.json in the repo root —
+# machine-readable ns/op plus the append path's throughput (MB/s of diff
+# bytes) and bytes-per-commit encoding overhead, so regressions in the
+# record/replay paths are diffable across commits. Run via
+# `make bench-commitlog` (smoke iterations via BENCHTIME, as in
+# bench_sched.sh; the default here is larger).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2000x}"
+out="${1:-BENCH_commitlog.json}"
+
+raw=$(go test -run=NONE -bench 'BenchmarkCommitLogAppend|BenchmarkReplay' \
+    -benchtime "$benchtime" ./internal/commitlog)
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    names[n] = name; iters[n] = $2; ns[n] = $3
+    # Optional per-benchmark metrics emitted by ReportMetric/SetBytes:
+    # "NNN MB/s", "NNN logbytes/commit", "NNN commits/op".
+    mbs[n] = lbc[n] = cpo[n] = ""
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "MB/s") mbs[n] = $i
+        if ($(i+1) == "logbytes/commit") lbc[n] = $i
+        if ($(i+1) == "commits/op") cpo[n] = $i
+    }
+    n++
+}
+END {
+    if (n == 0) { print "bench_commitlog: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i]
+        if (mbs[i] != "") printf ", \"mb_per_s\": %s", mbs[i]
+        if (lbc[i] != "") printf ", \"logbytes_per_commit\": %s", lbc[i]
+        if (cpo[i] != "") printf ", \"commits_per_op\": %s", cpo[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' > "$out"
+
+echo "bench_commitlog: wrote $out"
+cat "$out"

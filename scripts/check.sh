@@ -16,8 +16,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== lintdoc (godoc coverage of det, clock, trace, journal, harness)"
-go run ./scripts/lintdoc ./internal/det ./internal/clock ./internal/trace ./internal/journal ./internal/harness
+echo "== lintdoc (godoc coverage of det, clock, trace, journal, commitlog, predict, harness)"
+go run ./scripts/lintdoc ./internal/det ./internal/clock ./internal/trace ./internal/journal ./internal/commitlog ./internal/predict ./internal/harness
 
 echo "== go build ./..."
 go build ./...
@@ -38,10 +38,13 @@ echo "== determinism gate (final memory + sync-trace hashes vs goldens)"
 # The gate (and the chaos gate below) run detrun many times: build it once.
 detrun_bin=$(mktemp -t detrun.XXXXXX)
 conseq_diff_bin=$(mktemp -t conseqdiff.XXXXXX)
+conseq_replay_bin=$(mktemp -t conseqreplay.XXXXXX)
 journal_dir=$(mktemp -d -t journals.XXXXXX)
-trap 'rm -f "$detrun_bin" "$conseq_diff_bin"; rm -rf "$journal_dir"' EXIT
+clog_dir=$(mktemp -d -t commitlogs.XXXXXX)
+trap 'rm -f "$detrun_bin" "$conseq_diff_bin" "$conseq_replay_bin"; rm -rf "$journal_dir" "$clog_dir"' EXIT
 go build -o "$detrun_bin" ./cmd/detrun
 go build -o "$conseq_diff_bin" ./cmd/conseq-diff
+go build -o "$conseq_replay_bin" ./cmd/conseq-replay
 
 # benchmark:checksum:trace@1:trace@2:trace@4:trace@8 at t=8 scale=1
 # seed=42 on the simulation host. The checksum pins program results at
@@ -222,6 +225,66 @@ for bench in water_nsquared kmeans; do
     fi
 done
 echo "   sharded journals ok (4-shard runs byte-identical, conseq-diff clean)"
+
+echo "== commitlog gate (logging invisible; logs canonical; replay, resume and backpressure verified)"
+# The commit log's three load-bearing properties (docs/commitlog.md),
+# checked per golden benchmark: (1) logging is invisible — with
+# -commitlog the goldens are unmoved; (2) logs are canonical — two
+# identical runs write byte-identical log directories, so `diff -r` is
+# a determinism check; (3) the log proves itself — conseq-replay
+# -verify replays it against the same run's journal hash-for-hash and
+# the replica checksum equals the golden, and -resume (newest snapshot
+# + tail, the restart path) reaches the same checksum. Then the chaos
+# piece: the logstall profile stalls the drain goroutine in REAL time
+# (write backpressure), and neither the goldens NOR the log bytes may
+# move — backpressure shifts host timing only, never results, never
+# what gets logged.
+for spec in $goldens; do
+    bench=${spec%%:*}
+    want_sum=$(printf '%s' "$spec" | cut -d: -f2)
+    want_trace=$(trace_golden "$spec" 1)
+    out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 \
+        -journal "$clog_dir/$bench.csqj" -commitlog "$clog_dir/$bench-a")
+    got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+    got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+        echo "commitlog gate: $bench with -commitlog diverged from the goldens:" >&2
+        echo "  checksum $got_sum (want $want_sum)" >&2
+        echo "  trace    $got_trace (want $want_trace)" >&2
+        exit 1
+    fi
+    "$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 \
+        -commitlog "$clog_dir/$bench-b" >/dev/null
+    if ! diff -r "$clog_dir/$bench-a" "$clog_dir/$bench-b" >/dev/null; then
+        echo "commitlog gate: $bench wrote different log bytes across two identical runs" >&2
+        exit 1
+    fi
+    if ! "$conseq_replay_bin" -dir "$clog_dir/$bench-a" -verify "$clog_dir/$bench.csqj" \
+        -checksum "$want_sum" -quiet >/dev/null; then
+        echo "commitlog gate: $bench replay failed journal verification or the golden checksum" >&2
+        exit 1
+    fi
+    if ! "$conseq_replay_bin" -dir "$clog_dir/$bench-a" -resume \
+        -checksum "$want_sum" -quiet >/dev/null; then
+        echo "commitlog gate: $bench resume did not reach the golden checksum" >&2
+        exit 1
+    fi
+    out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 \
+        -chaos logstall:1 -commitlog "$clog_dir/$bench-c")
+    got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+    got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    if [ "$got_sum" != "$want_sum" ] || [ "$got_trace" != "$want_trace" ]; then
+        echo "commitlog gate: $bench under logstall:1 diverged from the goldens:" >&2
+        echo "  checksum $got_sum (want $want_sum)" >&2
+        echo "  trace    $got_trace (want $want_trace)" >&2
+        exit 1
+    fi
+    if ! diff -r "$clog_dir/$bench-a" "$clog_dir/$bench-c" >/dev/null; then
+        echo "commitlog gate: $bench log bytes moved under logstall backpressure" >&2
+        exit 1
+    fi
+    echo "   $bench ok (goldens unmoved, logs byte-identical, verify + resume + logstall)"
+done
 
 echo "== scheduler bench (BENCH_sched.json vs committed baseline)"
 # Re-run the suite at smoke iterations into temp files — the committed
