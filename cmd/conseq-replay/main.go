@@ -16,10 +16,11 @@
 //	conseq-replay -dir /tmp/alog -checksum 9c02…      # assert the final checksum
 //	conseq-replay -dir /tmp/alog -verify a.csqj       # cross-check against the run journal
 //	conseq-replay -dir /tmp/alog -follow              # tail a live run's commits
+//	conseq-replay -dir /tmp/alog -follow -max-lag 64  # tail with a liveness bound
 //	conseq-replay -dir /tmp/alog -repair              # crash recovery: keep the longest valid prefix
 //
 // Exit status: 0 on success, 1 on verification failure or corrupt log,
-// 2 on usage errors.
+// 2 on usage errors or a -max-lag breach.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/commitlog"
 	"repro/internal/journal"
+	"repro/internal/replica"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 	verifyPath := flag.String("verify", "", "cross-check the replay against this run journal (.csqj): same commit sequence, and every replayed page must hash to the journal's recorded page hash")
 	follow := flag.Bool("follow", false, "tail the log as it is written: print each commit until the end trailer appears")
 	followPoll := flag.Duration("follow-poll", 200*time.Millisecond, "poll interval for -follow")
+	maxLag := flag.Int64("max-lag", -1, "with -follow: exit 2 if the follower falls more than this many versions behind the durable frontier (-1 disables)")
 	repair := flag.Bool("repair", false, "scan for a torn tail after a crash and truncate to the longest valid record prefix, then replay what survives")
 	quiet := flag.Bool("quiet", false, "suppress per-commit output (-verify, -follow)")
 	flag.Parse()
@@ -59,6 +62,9 @@ func main() {
 	}
 	if modes > 1 {
 		fatalUsage(fmt.Errorf("-at-seq, -resume, -verify and -follow are mutually exclusive"))
+	}
+	if *maxLag >= 0 && !*follow {
+		fatalUsage(fmt.Errorf("-max-lag requires -follow"))
 	}
 
 	var want uint64
@@ -89,7 +95,7 @@ func main() {
 	var err error
 	switch {
 	case *follow:
-		st, err = followLog(*dir, *followPoll, *quiet)
+		st, err = followLog(*dir, *followPoll, *maxLag, *quiet)
 	case *verifyPath != "":
 		st, err = verifyAgainstJournal(*dir, *verifyPath, *quiet)
 	case *resume:
@@ -171,44 +177,84 @@ func verifyAgainstJournal(dir, jpath string, quiet bool) (*commitlog.State, erro
 	return st, nil
 }
 
-// followLog tails a growing log directory: repeatedly reads whatever
-// complete records are durable (tolerant of a mid-write tail), prints
-// commits past the last seen version, and returns once the end trailer
-// appears. This is the out-of-process follower; in-process consumers use
-// commitlog.Log.Stream.
-func followLog(dir string, poll time.Duration, quiet bool) (*commitlog.State, error) {
-	last := int64(-1)
-	for {
-		r, err := commitlog.OpenReader(dir)
-		if err != nil {
-			// The writer may not have created the first segment yet.
-			time.Sleep(poll)
-			continue
-		}
-		done := false
-		_, err = r.ForEachAvailable(func(_ int64, rc commitlog.Record) error {
-			switch rc.Kind {
-			case commitlog.KindCommit:
-				if rc.Commit.Version > last {
-					last = rc.Commit.Version
-					if !quiet {
-						fmt.Printf("commit      v%d seq %d tid %d clock %d: %d pages\n",
-							rc.Commit.Version, rc.Commit.AtSeq, rc.Commit.Tid, rc.Commit.Clock, len(rc.Commit.Pages))
-					}
-				}
-			case commitlog.KindEnd:
-				done = true
+// followLog tails a growing log directory with an incremental replica
+// follower (internal/replica): records are applied exactly once from a
+// moving cursor instead of rescanning from record zero each poll, and
+// torn tails or transient read errors go through the fleet's jittered
+// seeded backoff loop. Returns once the end trailer appears, after
+// cross-checking the follower's incremental state against a fresh
+// snapshot-anchored Resume replay. With maxLag >= 0, the process exits 2
+// as soon as the follower falls more than maxLag versions behind the
+// durable frontier — a liveness bound for pipelines that tail a run.
+func followLog(dir string, poll time.Duration, maxLag int64, quiet bool) (*commitlog.State, error) {
+	fl := replica.New(dir, nil, replica.Options{
+		Followers:       1,
+		HistoryVersions: -1, // the tailer keeps full undo history; it is the only copy
+		PollInterval:    poll,
+		Seed:            1,
+		OnApply: func(_ int, c commitlog.Commit) {
+			if !quiet {
+				fmt.Printf("commit      v%d seq %d tid %d clock %d: %d pages\n",
+					c.Version, c.AtSeq, c.Tid, c.Clock, len(c.Pages))
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		if done {
-			return commitlog.Replay(dir, -1)
-		}
-		time.Sleep(poll)
+		},
+	})
+	if err := fl.Start(); err != nil {
+		return nil, err
 	}
+	defer fl.Close()
+	f := fl.Followers()[0]
+	for !fl.Done() {
+		time.Sleep(poll)
+		if maxLag >= 0 {
+			durable := newestDurableVersion(dir)
+			if lag := durable - f.Version(); lag > maxLag {
+				fmt.Fprintf(os.Stderr, "conseq-replay: follower lag %d exceeds -max-lag %d (durable v%d, applied v%d)\n",
+					lag, maxLag, durable, f.Version())
+				os.Exit(2)
+			}
+		}
+	}
+	st, err := commitlog.Resume(dir)
+	if err != nil {
+		return nil, err
+	}
+	if got := f.Checksum(); got != st.Checksum() {
+		return nil, fmt.Errorf("follow: incremental follower checksum %016x != resume replay %016x", got, st.Checksum())
+	}
+	if !quiet {
+		fmt.Printf("followed    incremental follower checksum matches the resume replay\n")
+	}
+	return st, nil
+}
+
+// newestDurableVersion reads the newest committed version currently
+// durable, scanning only from the newest snapshot-led segment (tolerant
+// of a mid-write tail). 0 when nothing is readable yet.
+func newestDurableVersion(dir string) int64 {
+	r, err := commitlog.OpenReader(dir)
+	if err != nil {
+		return 0
+	}
+	anchor, err := r.NewestAnchorRec()
+	if err != nil {
+		return 0
+	}
+	var v int64
+	r.ForEachAvailableFrom(anchor, func(_ int64, rc commitlog.Record) error {
+		switch rc.Kind {
+		case commitlog.KindCommit:
+			if rc.Commit.Version > v {
+				v = rc.Commit.Version
+			}
+		case commitlog.KindEnd:
+			if rc.End.Version > v {
+				v = rc.End.Version
+			}
+		}
+		return nil
+	})
+	return v
 }
 
 func fatalUsage(err error) {

@@ -70,6 +70,24 @@ type Profile struct {
 	// never move modeled time or results, and the logged bytes themselves
 	// are unchanged; scripts/check.sh gates both.
 	LogStallNS int64
+	// FollowerKillPer10K kills a replica follower (a recovered panic the
+	// fleet supervisor restarts from the newest snapshot) with this
+	// per-ten-thousand probability at each applied commit. Followers are
+	// pure consumers of the commit log, so a kill can delay reads but
+	// never move the writer's results or what any follower serves at a
+	// version (internal/replica's determinism gate asserts exactly that).
+	FollowerKillPer10K int64
+	// FollowerStallNS stalls a replica follower's apply loop by up to
+	// this many REAL nanoseconds per applied commit — the slow-disk /
+	// slow-consumer case that builds follower lag and exercises the
+	// fleet's drain-from-routing degradation path.
+	FollowerStallNS int64
+	// FollowerTearPer10K makes a replica follower abandon its
+	// subscription mid-stream (as if its read hit a torn tail or an
+	// unreadable segment) with this per-ten-thousand probability at each
+	// applied commit, forcing the retry/backoff resubscribe loop to
+	// resume without gaps or duplicates.
+	FollowerTearPer10K int64
 }
 
 // profiles is the registry of built-in perturbation mixes. Amplitudes are
@@ -85,6 +103,11 @@ var profiles = []Profile{
 	{Name: "barrier", BarrierSkewNS: 6_000},
 	{Name: "mem", FaultDelayNS: 2_000, CommitDelayNS: 4_000},
 	{Name: "logstall", LogStallNS: 500_000},
+	// Follower-side profiles perturb replica consumers only: the writer's
+	// stream is untouched, so every checksum and read answer must hold.
+	{Name: "follower-kill", FollowerKillPer10K: 120, FollowerStallNS: 30_000},
+	{Name: "follower-stall", FollowerStallNS: 400_000},
+	{Name: "follower-tear", FollowerTearPer10K: 150, FollowerStallNS: 20_000},
 	{
 		Name:              "storm",
 		ChargeJitterPct:   25,
@@ -135,6 +158,10 @@ type Stats struct {
 	CommitDelayNS      int64
 	LogStalls          int64
 	LogStallNS         int64
+	FollowerKills      int64
+	FollowerStalls     int64
+	FollowerStallNS    int64
+	FollowerTears      int64
 }
 
 // Injector is one run's perturbation source: a profile plus a seed.
@@ -160,6 +187,10 @@ type Injector struct {
 	commitDelayNS      atomic.Int64
 	logStalls          atomic.Int64
 	logStallNS         atomic.Int64
+	followerKills      atomic.Int64
+	followerStalls     atomic.Int64
+	followerStallNS    atomic.Int64
+	followerTears      atomic.Int64
 }
 
 // New creates an injector for the named profile and seed.
@@ -217,6 +248,10 @@ func (in *Injector) Stats() Stats {
 		CommitDelayNS:      in.commitDelayNS.Load(),
 		LogStalls:          in.logStalls.Load(),
 		LogStallNS:         in.logStallNS.Load(),
+		FollowerKills:      in.followerKills.Load(),
+		FollowerStalls:     in.followerStalls.Load(),
+		FollowerStallNS:    in.followerStallNS.Load(),
+		FollowerTears:      in.followerTears.Load(),
 	}
 }
 
@@ -230,6 +265,7 @@ const (
 	saltPredict  = 0x70726564 // "pred": write-set prediction filter
 	saltFault    = 0x666c7400 // "flt":  page-fault servicing
 	saltLog      = 0x6c6f6773 // "logs": commit-log drain stalls
+	saltReplica  = 0x72657061 // "repa": replica follower faults
 )
 
 // Stream is a per-(subsystem, thread) deterministic random sequence with
@@ -270,6 +306,12 @@ func (in *Injector) FaultStream(tid int) *Stream { return in.stream(saltFault, u
 // LogStream returns the commit-log drain-stall stream (one per run: the
 // drain goroutine is the stream's single owner).
 func (in *Injector) LogStream() *Stream { return in.stream(saltLog, 0) }
+
+// FollowerStream returns the replica-follower fault stream for follower
+// id. Each follower goroutine owns its stream, so a fleet of N followers
+// draws N independent sequences and one follower's kills never shift
+// another's.
+func (in *Injector) FollowerStream(id int) *Stream { return in.stream(saltReplica, uint64(id)) }
 
 // mix is the splitmix64 output permutation.
 func mix(x uint64) uint64 {
@@ -395,6 +437,47 @@ func (s *Stream) LogStall() int64 {
 		s.in.logStallNS.Add(d)
 	}
 	return d
+}
+
+// FollowerKill reports whether to kill the follower at this applied
+// commit (a panic the fleet supervisor recovers and restarts from).
+func (s *Stream) FollowerKill() bool {
+	if s == nil || s.in.prof.FollowerKillPer10K <= 0 {
+		return false
+	}
+	if s.below(10_000) >= s.in.prof.FollowerKillPer10K {
+		return false
+	}
+	s.in.followerKills.Add(1)
+	return true
+}
+
+// FollowerStall returns the REAL nanoseconds to stall a follower's apply
+// loop by at this applied commit.
+func (s *Stream) FollowerStall() int64 {
+	if s == nil || s.in.prof.FollowerStallNS <= 0 {
+		return 0
+	}
+	d := s.below(s.in.prof.FollowerStallNS + 1)
+	if d > 0 {
+		s.in.followerStalls.Add(1)
+		s.in.followerStallNS.Add(d)
+	}
+	return d
+}
+
+// FollowerTear reports whether the follower's read should tear here:
+// abandon the subscription as if the tail turned unreadable, exercising
+// the resubscribe/backoff path.
+func (s *Stream) FollowerTear() bool {
+	if s == nil || s.in.prof.FollowerTearPer10K <= 0 {
+		return false
+	}
+	if s.below(10_000) >= s.in.prof.FollowerTearPer10K {
+		return false
+	}
+	s.in.followerTears.Add(1)
+	return true
 }
 
 // CommitDelay returns the extra nanoseconds to charge a token-held serial

@@ -124,6 +124,77 @@ func TestNilStreamSafe(t *testing.T) {
 	if got := s.FilterPrediction(pages); len(got) != 3 {
 		t.Fatalf("nil stream filtered a prediction: %v", got)
 	}
+	if s.FollowerKill() || s.FollowerTear() || s.FollowerStall() != 0 || s.LogStall() != 0 {
+		t.Fatal("nil stream injected a follower fault")
+	}
+}
+
+// Follower streams must replay exactly and fire each fault class under
+// its profile — the property the replica chaos gate's restart schedules
+// depend on.
+func TestFollowerStreamsReplayAndFire(t *testing.T) {
+	type draw struct {
+		kill, tear bool
+		stall      int64
+	}
+	runOnce := func(profile string) []draw {
+		in, err := New(profile, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []draw
+		for id := 0; id < 3; id++ {
+			s := in.FollowerStream(id)
+			for i := 0; i < 2000; i++ {
+				out = append(out, draw{kill: s.FollowerKill(), tear: s.FollowerTear(), stall: s.FollowerStall()})
+			}
+		}
+		return out
+	}
+	for _, profile := range []string{"follower-kill", "follower-stall", "follower-tear"} {
+		a, b := runOnce(profile), runOnce(profile)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s draw %d differs across replays: %+v != %+v", profile, i, a[i], b[i])
+			}
+		}
+		kills, tears, stalls := 0, 0, 0
+		for _, d := range a {
+			if d.kill {
+				kills++
+			}
+			if d.tear {
+				tears++
+			}
+			if d.stall > 0 {
+				stalls++
+			}
+		}
+		switch profile {
+		case "follower-kill":
+			if kills == 0 {
+				t.Fatal("follower-kill never killed in 6000 draws")
+			}
+		case "follower-tear":
+			if tears == 0 {
+				t.Fatal("follower-tear never tore in 6000 draws")
+			}
+		case "follower-stall":
+			if stalls == 0 || kills != 0 || tears != 0 {
+				t.Fatalf("follower-stall fired wrong classes: %d stalls, %d kills, %d tears", stalls, kills, tears)
+			}
+		}
+	}
+	in, _ := New("follower-kill", 9)
+	s := in.FollowerStream(0)
+	for i := 0; i < 2000; i++ {
+		s.FollowerKill()
+		s.FollowerStall()
+	}
+	st := in.Stats()
+	if st.FollowerKills == 0 || st.FollowerStalls == 0 || st.FollowerStallNS == 0 {
+		t.Fatalf("follower stats did not count: %+v", st)
+	}
 }
 
 // Perturbed overflow intervals must stay >= 1 (a zero interval would stall

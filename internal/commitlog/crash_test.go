@@ -336,3 +336,106 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 	})
 }
+
+// TestRepairUnderFollow is the crash-recovery path a tailing follower
+// takes (docs/replication.md): the follower applies the readable prefix
+// of a torn log with ForEachAvailableFrom, Repair truncates the tear,
+// and the follower resumes from its record cursor without re-applying or
+// skipping a single commit — ending byte-identical to a fresh
+// post-repair replay.
+func TestRepairUnderFollow(t *testing.T) {
+	dir, sums, lastBase, priorVersion := buildCrashFixture(t)
+	lastStore := filepath.Join(dir, segName(lastBase)) + ".store"
+	headerEnd, frames := scanFrames(t, lastStore, priorVersion)
+
+	// Crash mid-frame: a few bytes of the next frame made it to disk.
+	half := len(frames) / 2
+	cut, wantVersion := headerEnd, priorVersion
+	if half > 0 {
+		cut, wantVersion = frames[half-1].end, frames[half-1].version
+	}
+	tornDir := copyDir(t, dir)
+	if err := os.Truncate(filepath.Join(tornDir, segName(lastBase))+".store", cut+3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The inline follower: cursor-driven tolerant scans, every commit
+	// applied exactly once in version order.
+	ref := freshRef()
+	var version, cursor int64
+	apply := func(rec int64, rc Record) error {
+		switch rc.Kind {
+		case KindSnapshot:
+			// This follower scans from record zero, so snapshots recap
+			// state it already has; one overtaking it would mean a gap.
+			if rc.Snapshot.Version > version {
+				t.Fatalf("snapshot v%d overtook the follower at v%d", rc.Snapshot.Version, version)
+			}
+		case KindCommit:
+			if rc.Commit.Version != version+1 {
+				t.Fatalf("follower saw v%d while at v%d: gap or duplicate", rc.Commit.Version, version)
+			}
+			applyRef(ref, rc.Commit)
+			version = rc.Commit.Version
+		}
+		cursor = rec + 1
+		return nil
+	}
+
+	// Phase 1: tail the torn log. The tolerant scan applies the surviving
+	// prefix and stops silently at the tear.
+	r, err := OpenReader(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := r.ForEachAvailableFrom(cursor, apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Fatal("tolerant scan reported a torn log as complete")
+	}
+	if version != wantVersion {
+		t.Fatalf("follower applied to v%d, surviving prefix ends at v%d", version, wantVersion)
+	}
+	if got := refChecksum(ref); got != sums[wantVersion] {
+		t.Fatalf("follower checksum %016x, want %016x at v%d", got, sums[wantVersion], wantVersion)
+	}
+
+	// Phase 2: crash recovery truncates the tear.
+	rep, err := Repair(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired || rep.TruncatedBytes == 0 {
+		t.Fatalf("repair found nothing to fix on a torn tail: %+v", rep)
+	}
+
+	// Phase 3: resume from the cursor. Repair only removed bytes past the
+	// last valid frame, so the cursor still points one past the follower's
+	// last applied record — nothing is re-applied, nothing is skipped, and
+	// the scan now reads clean to the (trailerless) end.
+	r2, err := OpenReader(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete, err = r2.ForEachAvailableFrom(cursor, apply); err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("repaired log still reads as torn")
+	}
+	if version != wantVersion {
+		t.Fatalf("resume moved the follower to v%d, want v%d unchanged", version, wantVersion)
+	}
+
+	// The incremental follower state must equal a fresh post-repair replay.
+	st, err := Replay(tornDir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != version || st.Checksum() != refChecksum(ref) {
+		t.Fatalf("follower (v%d, %016x) != replay (v%d, %016x)",
+			version, refChecksum(ref), st.Version, st.Checksum())
+	}
+}

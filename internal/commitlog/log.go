@@ -100,9 +100,11 @@ type Log struct {
 // logMsg is one unit of work for the drain goroutine.
 type logMsg struct {
 	commit *Commit
-	sub    *Stream // subscribe request when non-nil
-	from   int64   // subscribe start version
-	unsub  *Stream // unsubscribe request when non-nil
+	sub    *Stream       // subscribe request when non-nil
+	from   int64         // subscribe start version
+	unsub  *Stream       // unsubscribe request when non-nil
+	snap   bool          // RequestSnapshot: force a snapshot at the next commit boundary
+	sync   chan struct{} // Sync barrier: closed once buffered bytes are durable-readable
 }
 
 // Create prepares an empty log directory (created if absent; must contain
@@ -204,6 +206,40 @@ func (l *Log) Append(c Commit) {
 	l.lastVersion.Store(c.Version)
 }
 
+// RequestSnapshot asks the drain goroutine to write a full-state snapshot
+// at the next commit boundary, regardless of the SnapshotEvery cadence
+// fixed at creation. A replica supervisor calls it before restarting a
+// follower so the restart resumes from a fresh anchor instead of
+// replaying a long tail. The request drains behind all earlier appends
+// (so the snapshot folds them), coalesces with the cadence (the snapshot
+// resets its counter), and is a no-op before Begin or after Close; on an
+// empty log it defers to the first commit.
+func (l *Log) RequestSnapshot() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.begun || l.closed {
+		return
+	}
+	l.ch <- logMsg{snap: true}
+}
+
+// Sync blocks until every record appended before the call has been
+// flushed to the segment files, so a directory reader (OpenReader +
+// ForEachAvailable) observes them. The barrier is ordered like an append:
+// it drains behind all earlier records. No-op before Begin or after Close
+// (Close already flushes everything).
+func (l *Log) Sync() {
+	l.mu.Lock()
+	if !l.begun || l.closed {
+		l.mu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	l.ch <- logMsg{sync: done}
+	l.mu.Unlock()
+	<-done
+}
+
 // Close flushes buffered records, writes the end trailer (final version +
 // replica checksum), closes the segment files and returns the first I/O
 // error encountered anywhere in the log's lifetime. Idempotent.
@@ -268,6 +304,7 @@ type drain struct {
 	lastVersion int64
 	lastAtSeq   int64
 	sinceSnap   int
+	snapWanted  bool // RequestSnapshot pending: snapshot at the next commit
 	handled     int64
 	subs        []*Stream
 	scratch     []byte // payload encode buffer, reused across records
@@ -286,6 +323,17 @@ func (d *drain) run() {
 			d.handleSubscribe(msg.sub, msg.from)
 		case msg.unsub != nil:
 			d.handleUnsubscribe(msg.unsub)
+		case msg.sync != nil:
+			d.flush()
+			close(msg.sync)
+		case msg.snap:
+			// The request drains between two records, so this IS a commit
+			// boundary; an empty log defers to the first commit instead.
+			if d.lastVersion > 0 {
+				d.takeSnapshot()
+			} else {
+				d.snapWanted = true
+			}
 		}
 	}
 	d.writeRecord(appendEnd(d.scratch[:0], End{Version: d.lastVersion, Checksum: d.checksum()}))
@@ -317,7 +365,8 @@ func (d *drain) handleCommit(c Commit) {
 		s.push(c)
 	}
 	d.sinceSnap++
-	if d.l.opts.SnapshotEvery > 0 && d.sinceSnap >= d.l.opts.SnapshotEvery {
+	if d.snapWanted || (d.l.opts.SnapshotEvery > 0 && d.sinceSnap >= d.l.opts.SnapshotEvery) {
+		d.snapWanted = false
 		d.takeSnapshot()
 	}
 	d.handled++

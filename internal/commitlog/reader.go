@@ -203,6 +203,43 @@ func (r *Reader) ForEachAvailable(f func(rec int64, rc Record) error) (complete 
 	return r.forEachFrom(0, false, f)
 }
 
+// ForEachAvailableFrom iterates the readable records whose global record
+// number is at least rec (clamped to the oldest retained record),
+// stopping silently at a torn tail like ForEachAvailable. A follower
+// tailing the directory polls with it, passing one past its last applied
+// record so each poll touches only the new suffix (plus the tail of the
+// segment the cursor sits in) instead of rescanning the whole log.
+func (r *Reader) ForEachAvailableFrom(rec int64, f func(rec int64, rc Record) error) (complete bool, err error) {
+	segIdx := sort.Search(len(r.bases), func(i int) bool { return r.bases[i] > rec }) - 1
+	if segIdx < 0 {
+		segIdx = 0
+	}
+	return r.forEachFrom(segIdx, false, func(got int64, rc Record) error {
+		if got < rec {
+			return nil
+		}
+		return f(got, rc)
+	})
+}
+
+// NewestAnchorRec returns the record number of the newest readable
+// snapshot record that leads a segment, or 0 when the only replay origin
+// is record zero. A follower restarting after a crash begins its tolerant
+// scan here — the Resume path without strictness: snapshot restore plus
+// whatever tail is readable.
+func (r *Reader) NewestAnchorRec() (int64, error) {
+	for i := len(r.bases) - 1; i > 0; i-- {
+		rc, ok, err := r.first(i)
+		if err != nil {
+			return 0, err
+		}
+		if ok && rc.Kind == kindSnapshot {
+			return r.bases[i], nil
+		}
+	}
+	return 0, nil
+}
+
 // first returns segment segIdx's first record (ok=false for a segment
 // with no readable records).
 func (r *Reader) first(segIdx int) (rc Record, ok bool, err error) {

@@ -63,6 +63,14 @@ func TestChaosPreservesResults(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				// Follower profiles only have a target when a replica
+				// fleet is attached; TestFleetChaosDeterminism
+				// (internal/replica) and TestReplicasOption
+				// (internal/harness) assert their non-vacuous,
+				// results-pinned runs against a live fleet.
+				if p := in.Profile(); p.FollowerKillPer10K > 0 || p.FollowerTearPer10K > 0 || p.FollowerStallNS > 0 {
+					t.Skip("follower profile: needs a replica fleet")
+				}
 				c := cfg()
 				c.Chaos = in
 				// The logstall knob only has a target with a commit log

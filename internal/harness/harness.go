@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/baseline/dthreads"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/lrc"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/workload"
 )
 
@@ -90,6 +92,16 @@ type Options struct {
 	// byte-identical logs, and conseq-replay reconstructs the cell's final
 	// state from the directory — scripts/check.sh gates all three.
 	CommitLogDir string
+	// Replicas, when >= 1, starts a supervised replica fleet
+	// (internal/replica) of that many serving followers plus a
+	// chaos-exempt archive, all tailing the commit log live. Requires
+	// CommitLogDir. After the run the harness waits for the fleet to
+	// catch up and verifies every follower's checksum against the
+	// runtime's — the replication determinism gate. The fleet shares the
+	// cell's chaos injector, so follower-kill/stall/tear profiles reach
+	// it, and its metrics land in the Observer's registry when one is
+	// attached; the cell's own checksum is unchanged by construction.
+	Replicas int
 }
 
 // Result is one run's outcome.
@@ -99,6 +111,8 @@ type Result struct {
 	Stats    api.RunStats
 	Checksum uint64
 	LRCPages int64
+	// Replica carries the fleet's counters when Options.Replicas was set.
+	Replica *replica.FleetStats
 }
 
 // Run executes one configuration on a fresh simulation host. (Named
@@ -124,9 +138,14 @@ func Run(o Options) (res Result, retErr error) {
 	if o.CommitLogDir != "" && o.Runtime != KindConsequenceIC && o.Runtime != KindConsequenceRR {
 		return Result{}, fmt.Errorf("harness: commit logging requires a consequence runtime (got %s)", o.Runtime)
 	}
+	if o.Replicas > 0 && o.CommitLogDir == "" {
+		return Result{}, fmt.Errorf("harness: replicas require a commit log (set CommitLogDir)")
+	}
 
 	var rt api.Runtime
 	var tracker *lrc.Tracker
+	var cl *commitlog.Log
+	var fl *replica.Fleet
 	switch o.Runtime {
 	case KindConsequenceIC, KindConsequenceRR:
 		c := det.Default()
@@ -180,7 +199,7 @@ func Run(o Options) (res Result, retErr error) {
 			}()
 		}
 		if o.CommitLogDir != "" {
-			cl, err := commitlog.Create(o.CommitLogDir, commitlog.Options{
+			cl, err = commitlog.Create(o.CommitLogDir, commitlog.Options{
 				Meta: map[string]string{
 					"bench":        o.Bench,
 					"runtime":      string(o.Runtime),
@@ -204,6 +223,26 @@ func Run(o Options) (res Result, retErr error) {
 					retErr = fmt.Errorf("harness: closing commit log: %w", cerr)
 				}
 			}()
+			if o.Replicas > 0 {
+				// Fleet metrics go to the observer's registry when one is
+				// attached, so AnalyzeCell picks up the replication section.
+				reg := obs.NewRegistry()
+				if o.Observer != nil {
+					reg = o.Observer.Registry()
+				}
+				fl = replica.New(o.CommitLogDir, cl, replica.Options{
+					Followers:         o.Replicas,
+					Archive:           true,
+					Seed:              o.Seed,
+					Chaos:             c.Chaos,
+					Registry:          reg,
+					SnapshotOnRestart: true,
+				})
+				if err := fl.Start(); err != nil {
+					return Result{}, err
+				}
+				defer fl.Close()
+			}
 		}
 		rt = drt
 	case KindDThreads:
@@ -223,6 +262,19 @@ func Run(o Options) (res Result, retErr error) {
 	if err := rt.Run(spec.Prog(p)); err != nil {
 		return Result{}, fmt.Errorf("%s on %s (t=%d): %w", o.Bench, o.Runtime, o.Threads, err)
 	}
+	if fl != nil {
+		// The replication determinism gate: every follower — whatever
+		// chaos its feed absorbed — must converge to the runtime's exact
+		// final state.
+		if err := fl.WaitCaughtUp(cl.Stats().LastVersion, 60*time.Second); err != nil {
+			return Result{}, fmt.Errorf("harness: replica fleet: %w", err)
+		}
+		for i, f := range fl.Followers() {
+			if got := f.Checksum(); got != rt.Checksum() {
+				return Result{}, fmt.Errorf("harness: follower %d checksum %016x != runtime checksum %016x", i, got, rt.Checksum())
+			}
+		}
+	}
 	res = Result{
 		Opts:     o,
 		Stats:    rt.Stats(),
@@ -231,6 +283,10 @@ func Run(o Options) (res Result, retErr error) {
 	res.WallNS = res.Stats.WallNS
 	if tracker != nil {
 		res.LRCPages = tracker.LRCPages()
+	}
+	if fl != nil {
+		st := fl.Stats()
+		res.Replica = &st
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/commitlog"
 	"repro/internal/det"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 func TestRunIsDeterministic(t *testing.T) {
@@ -287,5 +288,63 @@ func TestFig10SmallSweep(t *testing.T) {
 	}
 	if !strings.Contains(text, "five hardest") {
 		t.Error("fig10 summary missing")
+	}
+}
+
+// Replicas must attach a live replica fleet without changing the cell's
+// result, pass the follower-checksum determinism gate (including under
+// follower chaos), export replica metrics into the cell's observer, and
+// refuse to run without a commit log.
+func TestReplicasOption(t *testing.T) {
+	o := Options{Bench: "word_count", Runtime: KindConsequenceIC, Threads: 4, Scale: 1, Seed: 9}
+	plain, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	or := o
+	or.CommitLogDir = filepath.Join(t.TempDir(), "clog")
+	or.Replicas = 2
+	or.Observer = ob
+	a, err := Run(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != plain.Checksum || a.WallNS != plain.WallNS {
+		t.Fatalf("replica fleet perturbed the cell: sum %x vs %x, wall %d vs %d",
+			a.Checksum, plain.Checksum, a.WallNS, plain.WallNS)
+	}
+	if a.Replica == nil {
+		t.Fatal("Result.Replica not populated")
+	}
+	if a.Replica.Followers != 2 { // serving only; the archive is not counted
+		t.Fatalf("fleet had %d serving followers, want 2", a.Replica.Followers)
+	}
+	found := false
+	for _, s := range ob.Registry().Snapshot() {
+		if s.Name == "replica_lag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("replica_lag missing from the cell observer's registry")
+	}
+
+	oc := o
+	oc.CommitLogDir = filepath.Join(t.TempDir(), "clog-chaos")
+	oc.Replicas = 2
+	oc.Chaos = "follower-kill:3"
+	c, err := Run(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Checksum != plain.Checksum {
+		t.Fatalf("follower chaos perturbed the cell checksum: %x vs %x", c.Checksum, plain.Checksum)
+	}
+
+	if _, err := Run(Options{
+		Bench: "histogram", Runtime: KindConsequenceIC, Threads: 2, Replicas: 1,
+	}); err == nil {
+		t.Error("replicas accepted without a commit log")
 	}
 }

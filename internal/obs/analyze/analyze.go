@@ -113,6 +113,7 @@ func Analyze(in *Input) (*Report, error) {
 	mergeOverlap(lanes, r)
 	whatIfCoarsen(lanes, r)
 	shardingReport(in.Metrics, r)
+	replicationReport(in.Metrics, r)
 	return r, nil
 }
 

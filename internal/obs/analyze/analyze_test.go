@@ -273,3 +273,63 @@ func TestPartialReport(t *testing.T) {
 		t.Errorf("text report does not warn about partial data:\n%s", b.String())
 	}
 }
+
+// TestReplicationReport: a run exporting replica fleet metrics must get
+// the replication section (writer backpressure and follower lag in one
+// place); runs without a fleet omit it so their reports are unchanged.
+func TestReplicationReport(t *testing.T) {
+	lanes := []analyze.Lane{{
+		Tid:    0,
+		Events: []obs.Event{{Phase: obs.PhaseCompute, Start: 0, End: 100}},
+	}}
+	reg := obs.NewRegistry()
+	reg.Func("commitlog_append_stalls", func() int64 { return 3 })
+	reg.Func("replica_restarts_total", func() int64 { return 2 })
+	reg.Func("replica_reads_served", func() int64 { return 10 })
+	reg.Func("replica_reads_redirected", func() int64 { return 4 })
+	reg.Func("replica_reads_rejected", func() int64 { return 1 })
+	reg.Func("replica_admitted", func() int64 { return 2 })
+	reg.Func("replica_catchup_ns", func() int64 { return 5_000_000 })
+	reg.Func("replica_lag", func() int64 { return 1 }, obs.L("follower", 0), obs.L("role", "serve"))
+	reg.Func("replica_lag", func() int64 { return 7 }, obs.L("follower", 2), obs.L("role", "archive"))
+	h := reg.Histogram("replica_lag_hist")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i % 5))
+	}
+	rep, err := analyze.Analyze(&analyze.Input{Process: "fleet", Lanes: lanes, Metrics: reg.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := rep.Replication
+	if rp == nil {
+		t.Fatal("replication section missing despite replica metrics")
+	}
+	if rp.AppendStalls != 3 || rp.Restarts != 2 || rp.Admitted != 2 {
+		t.Errorf("stalls/restarts/admitted = %d/%d/%d, want 3/2/2", rp.AppendStalls, rp.Restarts, rp.Admitted)
+	}
+	if rp.ReadsServed != 10 || rp.ReadsRedirected != 4 || rp.ReadsRejected != 1 {
+		t.Errorf("reads = %d/%d/%d, want 10/4/1", rp.ReadsServed, rp.ReadsRedirected, rp.ReadsRejected)
+	}
+	if rp.CatchupMaxNS != 5_000_000 || rp.LagMax != 4 || rp.LagP95 <= 0 {
+		t.Errorf("catchup/lag = %d/%d/%.2f", rp.CatchupMaxNS, rp.LagMax, rp.LagP95)
+	}
+	if len(rp.Followers) != 2 || rp.Followers[0].Role != "serve" || rp.Followers[1].Role != "archive" ||
+		rp.Followers[1].Follower != 2 || rp.Followers[1].Lag != 7 {
+		t.Errorf("follower lanes wrong: %+v", rp.Followers)
+	}
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replication") || !strings.Contains(b.String(), "archive") {
+		t.Errorf("text report missing replication section:\n%s", b.String())
+	}
+
+	bare, err := analyze.Analyze(&analyze.Input{Process: "nofleet", Lanes: lanes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Replication != nil {
+		t.Error("replication section present without replica metrics")
+	}
+}

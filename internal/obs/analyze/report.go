@@ -38,6 +38,10 @@ type Report struct {
 	// Sharding is the per-shard arbiter breakdown under stage-2 per-shard
 	// granting; nil (and omitted) for unsharded runs and trace-file inputs.
 	Sharding *ShardingReport `json:"sharding,omitempty"`
+	// Replication attributes writer backpressure (commit-log append
+	// stalls) vs. replica-fleet follower lag; nil (and omitted) for runs
+	// without a fleet and trace-file inputs.
+	Replication *ReplicationReport `json:"replication,omitempty"`
 }
 
 // PhaseTotal is one phase's share of some whole (thread-time for
@@ -213,6 +217,18 @@ func (r *Report) WriteText(w io.Writer) error {
 		for _, l := range sh.Shards {
 			p("  %-5d %12s %13s %8.2f\n",
 				l.Shard, ms(l.BusyNS), ms(l.FrontierNS), l.UtilizationPct)
+		}
+	}
+
+	if rp := r.Replication; rp != nil {
+		p("\nreplication    %d append stalls (writer backpressure); fleet: %d restarts, %d admitted\n",
+			rp.AppendStalls, rp.Restarts, rp.Admitted)
+		p("  reads        %d served, %d redirected, %d rejected\n",
+			rp.ReadsServed, rp.ReadsRedirected, rp.ReadsRejected)
+		p("  lag          p50 %.2f, p95 %.2f, max %d versions; slowest catch-up %s ms\n",
+			rp.LagP50, rp.LagP95, rp.LagMax, ms(rp.CatchupMaxNS))
+		for _, f := range rp.Followers {
+			p("  follower %-4d %-8s lag %d\n", f.Follower, f.Role, f.Lag)
 		}
 	}
 

@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/commitlog"
+)
+
+// benchFleet builds a caught-up live fleet over nCommits synthetic
+// commits.
+func benchFleet(b *testing.B, nCommits int) (*Fleet, func()) {
+	b.Helper()
+	dir := b.TempDir()
+	l, err := commitlog.Create(dir, commitlog.Options{SegmentBytes: 1 << 16, SnapshotEvery: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Begin(tPageSize, tNumPages); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range mkCommitsB(nCommits) {
+		l.Append(c)
+	}
+	fl := New(dir, l, Options{Followers: 2, Archive: true, HistoryVersions: 128, Seed: 1})
+	if err := fl.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := fl.WaitCaughtUp(int64(nCommits), 30*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return fl, func() {
+		l.Close()
+		fl.Close()
+	}
+}
+
+// mkCommitsB mirrors the test stream without *testing.T plumbing.
+func mkCommitsB(n int) []commitlog.Commit {
+	return mkCommits(n)
+}
+
+// BenchmarkReplicaReads measures fleet.ReadAt throughput at a recent
+// version (the admitted-follower fast path).
+func BenchmarkReplicaReads(b *testing.B) {
+	const n = 2000
+	fl, done := benchFleet(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int64(n - 50 + i%50)
+		if _, err := fl.ReadAt(v, i%tNumPages); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	done()
+}
+
+// BenchmarkRestartCatchup measures restart-to-caught-up: the
+// snapshot-anchored rebuild a supervisor performs after a follower
+// death — open the directory, find the newest anchor, restore and
+// replay the tail back to the frontier.
+func BenchmarkRestartCatchup(b *testing.B) {
+	const n = 2000
+	dir := b.TempDir()
+	l, err := commitlog.Create(dir, commitlog.Options{SegmentBytes: 1 << 16, SnapshotEvery: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Begin(tPageSize, tNumPages); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range mkCommitsB(n) {
+		l.Append(c)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := newFollower(0, tPageSize, tNumPages, 128)
+		r, err := commitlog.OpenReader(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anchor, err := r.NewestAnchorRec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ForEachAvailableFrom(anchor, func(_ int64, rc commitlog.Record) error {
+			switch rc.Kind {
+			case commitlog.KindSnapshot:
+				if f.Version() == 0 {
+					f.restore(rc.Snapshot)
+				}
+			case commitlog.KindCommit:
+				if _, err := f.apply(rc.Commit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if f.Version() != n {
+			b.Fatalf("rebuilt to %d, want %d", f.Version(), n)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/restart")
+}

@@ -1,0 +1,469 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/commitlog"
+	"repro/internal/obs"
+)
+
+// errKilled marks a follower death (panic or injected kill): its
+// in-memory state is untrusted, so the supervisor rebuilds from the
+// newest retained snapshot.
+var errKilled = fmt.Errorf("replica: follower died")
+
+// errClosing marks a feed unwound by Fleet.Close; the supervisor exits
+// without counting a restart.
+var errClosing = fmt.Errorf("replica: fleet closing")
+
+// supervise owns one follower's feed for the fleet's lifetime: run the
+// feed, classify the failure, decide how much state survives, back off
+// (jittered, capped, seeded) and go again.
+func (fl *Fleet) supervise(s *fstate) {
+	defer fl.wg.Done()
+	bo := fl.backoffFor(s.f.id)
+	for attempt := 0; ; attempt++ {
+		var err error
+		if fl.log != nil {
+			err = fl.feedLive(s, attempt)
+		} else {
+			err = fl.feedDir(s, attempt)
+		}
+		if err == nil {
+			// The log ended cleanly and the follower holds its final
+			// state; one last admission check and the feed retires.
+			s.finished.Store(true)
+			fl.updateAdmission(s)
+			return
+		}
+		if fl.stopped.Load() || errors.Is(err, errClosing) {
+			return
+		}
+		fl.restarts.Add(1)
+		s.restartReq.Store(false)
+		switch {
+		case errors.Is(err, errKilled):
+			// Crash: nothing in memory is trusted. Rebuild from the
+			// newest retained snapshot (optionally minting a fresh one
+			// first to cap replay cost).
+			s.f.reset()
+			s.cursor = -1
+			if fl.log != nil && fl.o.SnapshotOnRestart {
+				fl.log.RequestSnapshot()
+			}
+		case errors.Is(err, errTear), errors.Is(err, errKicked):
+			// Read-side failure: state is intact, resubscribe from
+			// version+1 — the no-gap, no-duplicate path.
+		default:
+			// A version gap or an unreadable interior segment. In
+			// directory mode with a known-dead writer the supervisor may
+			// repair the log first; either way the follower rebuilds
+			// from scratch so it cannot serve a state no writer had.
+			if fl.log == nil && fl.o.RepairOnError {
+				if _, rerr := commitlog.Repair(fl.dir); rerr != nil {
+					err = fmt.Errorf("%w (repair also failed: %v)", err, rerr)
+				}
+			}
+			s.f.reset()
+			s.cursor = -1
+		}
+		_ = err
+		if !fl.sleep(bo.next(attempt)) {
+			return
+		}
+	}
+}
+
+// feedLive runs one live-mode feed attempt: directory catch-up when the
+// follower has no state, then an exact-splice subscription to the
+// writer. Returns nil only when the log has ended and the follower is
+// final.
+func (fl *Fleet) feedLive(s *fstate, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errKilled, r)
+		}
+	}()
+	fl.beginAttempt(s)
+	if s.f.Version() == 0 {
+		// Snapshot-anchored rebuild: force buffered records durable,
+		// then replay the newest snapshot-led tail from the directory.
+		fl.log.Sync()
+		if _, err := fl.scanDir(s); err != nil {
+			return err
+		}
+	}
+	st, err := fl.log.Stream(s.f.Version() + 1)
+	if err != nil {
+		// The writer already closed, so the directory holds everything;
+		// finish from there.
+		if _, err := fl.scanDir(s); err != nil {
+			return err
+		}
+		return nil
+	}
+	s.stream.Store(st)
+	defer func() {
+		s.stream.Store(nil)
+		st.Close()
+	}()
+	for {
+		c, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := fl.applyOne(s, c); err != nil {
+			return err
+		}
+	}
+	if fl.stopped.Load() {
+		return errClosing
+	}
+	if s.restartReq.Load() {
+		return errKicked
+	}
+	// Clean end of stream: the log closed. Pick up the end trailer (and
+	// prove there is no residue) with a final directory pass.
+	if _, err := fl.scanDir(s); err != nil {
+		return err
+	}
+	return nil
+}
+
+// feedDir runs one directory-mode feed attempt: poll the segment files
+// for new records with a jittered interval until the end trailer
+// appears. Returns nil only at a clean end trailer.
+func (fl *Fleet) feedDir(s *fstate, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errKilled, r)
+		}
+	}()
+	fl.beginAttempt(s)
+	bo := fl.backoffFor(^s.f.id) // poll jitter stream, distinct from restart backoff
+	for {
+		if fl.stopped.Load() {
+			return errClosing
+		}
+		if s.restartReq.Load() {
+			return errKicked
+		}
+		progressed, err := fl.scanDir(s)
+		if err != nil {
+			return err
+		}
+		if s.sawEnd {
+			return nil
+		}
+		if progressed {
+			continue
+		}
+		// Nothing new yet: poll, with seeded jitter so a fleet of
+		// followers does not stat the directory in lockstep.
+		d := fl.o.PollInterval + time.Duration(bo.rng.below(int64(fl.o.PollInterval)))
+		if !fl.sleep(d) {
+			return errClosing
+		}
+	}
+}
+
+// scanDir advances the follower from the directory: a tolerant scan
+// from its cursor (first call picks the newest snapshot anchor, or
+// record zero for the archive) applying snapshots, commits and the end
+// trailer. A torn tail simply ends the scan; interior decode errors
+// surface for the supervisor's repair/rebuild path.
+func (fl *Fleet) scanDir(s *fstate) (progressed bool, err error) {
+	r, err := commitlog.OpenReader(fl.dir)
+	if err != nil {
+		return false, err
+	}
+	if s.cursor < 0 {
+		s.cursor = 0
+		if !s.archive && s.f.Version() == 0 {
+			if anchor, err := r.NewestAnchorRec(); err == nil {
+				s.cursor = anchor
+			}
+		}
+	}
+	startV := s.f.Version()
+	restored := false
+	_, err = r.ForEachAvailableFrom(s.cursor, func(rec int64, rc commitlog.Record) error {
+		switch rc.Kind {
+		case commitlog.KindSnapshot:
+			switch {
+			case s.f.Version() == 0:
+				s.f.restore(rc.Snapshot)
+				restored = true
+				fl.noteProgress(s)
+			case rc.Snapshot.Version > s.f.Version():
+				// A snapshot ahead of us means the scan skipped commits.
+				return fmt.Errorf("replica: snapshot at version %d overtakes follower at %d",
+					rc.Snapshot.Version, s.f.Version())
+			}
+			// Snapshots at or behind our version are replay overlap: skip.
+		case commitlog.KindCommit:
+			if err := fl.applyOne(s, rc.Commit); err != nil {
+				return err
+			}
+		case commitlog.KindEnd:
+			fl.raiseFrontier(rc.End.Version)
+			s.sawEnd = true
+		}
+		s.cursor = rec + 1
+		return nil
+	})
+	return restored || s.f.Version() > startV, err
+}
+
+// applyOne pushes one commit into the follower with the chaos hooks
+// around it: an injected stall delays the apply (slow disk), a tear
+// aborts the feed with state intact, a kill panics — the supervisor's
+// recover turns it into a from-snapshot rebuild. Duplicates (replay
+// overlap after a resubscribe) are skipped by the follower itself.
+func (fl *Fleet) applyOne(s *fstate, c commitlog.Commit) error {
+	if cs := s.cs; cs != nil {
+		if d := cs.FollowerStall(); d > 0 {
+			if !fl.sleep(time.Duration(d)) {
+				return errClosing
+			}
+		}
+		if cs.FollowerTear() {
+			return errTear
+		}
+		if cs.FollowerKill() {
+			panic("injected follower kill")
+		}
+	}
+	applied, err := s.f.apply(c)
+	if err != nil {
+		return err
+	}
+	if applied && fl.o.OnApply != nil {
+		fl.o.OnApply(s.f.id, c)
+	}
+	fl.noteProgress(s)
+	return nil
+}
+
+// beginAttempt stamps a feed (re)start: the catch-up target is the
+// frontier as of now, and the clock for restart-to-caught-up starts.
+func (fl *Fleet) beginAttempt(s *fstate) {
+	fl.refreshFrontier()
+	s.restartStartNS.Store(time.Now().UnixNano())
+	s.restartTarget.Store(fl.frontier.Load())
+	s.caughtUp.Store(false)
+	fl.updateAdmission(s)
+}
+
+// noteProgress records an applied record: frontier, lag, admission and
+// the restart-to-caught-up latency when the attempt's target is reached.
+func (fl *Fleet) noteProgress(s *fstate) {
+	v := s.f.Version()
+	fl.raiseFrontier(v)
+	s.lastVersion.Store(v)
+	s.lastMoveNS.Store(time.Now().UnixNano())
+	if fl.lagHist != nil {
+		lag := fl.frontier.Load() - v
+		if lag < 0 {
+			lag = 0
+		}
+		fl.lagHist.Observe(lag)
+	}
+	if !s.caughtUp.Load() && v >= s.restartTarget.Load() {
+		s.caughtUp.Store(true)
+		ns := time.Now().UnixNano() - s.restartStartNS.Load()
+		fl.catchups.Add(1)
+		fl.catchupNSLast.Store(ns)
+		for {
+			old := fl.catchupNSMax.Load()
+			if ns <= old || fl.catchupNSMax.CompareAndSwap(old, ns) {
+				break
+			}
+		}
+		if fl.catchupHist != nil {
+			fl.catchupHist.Observe(ns)
+		}
+	}
+	fl.updateAdmission(s)
+}
+
+// updateAdmission drains or re-admits a follower against the staleness
+// bound. The archive never serves latest reads, so it stays drained.
+func (fl *Fleet) updateAdmission(s *fstate) {
+	if s.archive {
+		s.admitted.Store(false)
+		return
+	}
+	lag := fl.frontier.Load() - s.f.Version()
+	s.admitted.Store(lag <= fl.o.MaxLag)
+}
+
+// raiseFrontier CAS-maxes the fleet's known committed frontier.
+func (fl *Fleet) raiseFrontier(v int64) {
+	for {
+		old := fl.frontier.Load()
+		if v <= old || fl.frontier.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// refreshFrontier folds in the writer's own frontier (live mode; in
+// directory mode the frontier is whatever the followers have seen).
+func (fl *Fleet) refreshFrontier() {
+	if fl.log != nil {
+		fl.raiseFrontier(fl.log.Stats().LastVersion)
+	}
+}
+
+// watchdog is the fleet's monitor goroutine: it refreshes the frontier,
+// re-evaluates admission (a stalled follower must drain even though it
+// is not applying), and kicks followers that made no progress while the
+// frontier advanced past StallTimeout.
+func (fl *Fleet) watchdog() {
+	defer fl.wg.Done()
+	tick := fl.o.StallTimeout / 4
+	if tick > 20*time.Millisecond {
+		tick = 20 * time.Millisecond
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-fl.stop:
+			return
+		case <-t.C:
+		}
+		fl.refreshFrontier()
+		now := time.Now().UnixNano()
+		frontier := fl.frontier.Load()
+		for _, s := range fl.states {
+			if s.finished.Load() {
+				continue
+			}
+			fl.updateAdmission(s)
+			v := s.f.Version()
+			if v != s.lastVersion.Load() {
+				s.lastVersion.Store(v)
+				s.lastMoveNS.Store(now)
+				continue
+			}
+			if frontier > v && now-s.lastMoveNS.Load() > int64(fl.o.StallTimeout) {
+				// Stalled: ask the feed to restart and unblock it if it
+				// is parked in Stream.Next.
+				s.lastMoveNS.Store(now) // one kick per timeout window
+				s.restartReq.Store(true)
+				if st := s.stream.Load(); st != nil {
+					st.Close()
+				}
+			}
+		}
+	}
+}
+
+// sleep waits d or until the fleet closes; false means closing.
+func (fl *Fleet) sleep(d time.Duration) bool {
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-fl.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// splitmix64 is the same generator the chaos and scheduler layers use;
+// the fleet keeps its own so backoff jitter is deterministic per
+// (Seed, follower) without coupling to chaos draw order.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) below(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// backoff produces the jittered, capped, exponential restart delays.
+type backoff struct {
+	base, cap time.Duration
+	rng       rng
+}
+
+// backoffFor builds the seeded backoff source for one follower (or a
+// derived id for auxiliary jitter streams).
+func (fl *Fleet) backoffFor(id int) *backoff {
+	seed := uint64(fl.o.Seed)*0x9e3779b97f4a7c15 + uint64(int64(id))*0xbf58476d1ce4e5b9 + 0x7265706c696361 // "replica"
+	return &backoff{base: fl.o.RetryBase, cap: fl.o.RetryCap, rng: rng{state: seed}}
+}
+
+// next returns the delay before retry number attempt (0-based): base
+// doubled per attempt, capped, with ±50% jitter.
+func (b *backoff) next(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.cap; i++ {
+		d *= 2
+	}
+	if d > b.cap {
+		d = b.cap
+	}
+	half := int64(d / 2)
+	return time.Duration(half + b.rng.below(half+1))
+}
+
+// registerMetrics exposes the fleet on the run's obs registry; nil
+// registry means headless (tests, conseq-replay) and skips the
+// histograms too.
+func (fl *Fleet) registerMetrics() {
+	reg := fl.o.Registry
+	if reg == nil {
+		return
+	}
+	for _, s := range fl.states {
+		s := s
+		role := "serve"
+		if s.archive {
+			role = "archive"
+		}
+		reg.Func("replica_lag", func() int64 {
+			lag := fl.frontier.Load() - s.f.Version()
+			if lag < 0 {
+				lag = 0
+			}
+			return lag
+		}, obs.L("follower", s.f.id), obs.L("role", role))
+	}
+	reg.Func("replica_restarts_total", fl.restarts.Load)
+	reg.Func("replica_reads_served", fl.readsServed.Load)
+	reg.Func("replica_reads_redirected", fl.readsRedirected.Load)
+	reg.Func("replica_reads_rejected", fl.readsRejected.Load)
+	reg.Func("replica_catchup_ns", fl.catchupNSMax.Load)
+	reg.Func("replica_admitted", func() int64 {
+		n := int64(0)
+		for _, s := range fl.states {
+			if s.admitted.Load() {
+				n++
+			}
+		}
+		return n
+	})
+	fl.lagHist = reg.Histogram("replica_lag_hist")
+	fl.catchupHist = reg.Histogram("replica_catchup_ns_hist")
+}

@@ -1,0 +1,482 @@
+package replica
+
+import (
+	"errors"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/commitlog"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// Test geometry matches the commitlog package's tests.
+const (
+	tPageSize = 64
+	tNumPages = 16
+)
+
+// mkCommits builds the same deterministic synthetic commit stream the
+// commitlog tests use: version v writes a few bytes to pages keyed off
+// v, pages ascending within a record.
+func mkCommits(n int) []commitlog.Commit {
+	cs := make([]commitlog.Commit, 0, n)
+	for v := 1; v <= n; v++ {
+		c := commitlog.Commit{AtSeq: int64(3 * v), Version: int64(v), Tid: v % 4, Clock: int64(100 * v)}
+		for k := 0; k < 1+v%3; k++ {
+			pg := (v*7 + k*5) % tNumPages
+			off := (v * 11) % (tPageSize - 8)
+			data := []byte{byte(v), byte(v >> 8), byte(k + 1), 0xAB}
+			c.Pages = append(c.Pages, commitlog.PageDiff{Page: pg, Runs: []mem.Run{{Off: off, Data: data}}})
+		}
+		for i := 1; i < len(c.Pages); i++ {
+			for j := i; j > 0 && c.Pages[j-1].Page > c.Pages[j].Page; j-- {
+				c.Pages[j-1], c.Pages[j] = c.Pages[j], c.Pages[j-1]
+			}
+		}
+		dedup := c.Pages[:1]
+		for _, pd := range c.Pages[1:] {
+			if pd.Page != dedup[len(dedup)-1].Page {
+				dedup = append(dedup, pd)
+			}
+		}
+		c.Pages = dedup
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// refPages replays commits[0:upto] into a fresh page array — the
+// independent reference every follower answer is checked against.
+func refPages(commits []commitlog.Commit, upto int64) [][]byte {
+	pages := make([][]byte, tNumPages)
+	for i := range pages {
+		pages[i] = make([]byte, tPageSize)
+	}
+	for _, c := range commits {
+		if c.Version > upto {
+			break
+		}
+		for _, pd := range c.Pages {
+			for _, r := range pd.Runs {
+				copy(pages[pd.Page][r.Off:], r.Data)
+			}
+		}
+	}
+	return pages
+}
+
+func refChecksum(pages [][]byte) uint64 {
+	h := fnv.New64a()
+	for _, p := range pages {
+		h.Write(p)
+	}
+	return h.Sum64()
+}
+
+// writeLog writes the commit stream to a fresh log directory and closes
+// it (end trailer included) unless keepOpen, in which case the live log
+// is returned.
+func writeLog(t *testing.T, dir string, commits []commitlog.Commit, opts commitlog.Options, keepOpen bool) *commitlog.Log {
+	t.Helper()
+	l, err := commitlog.Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(tPageSize, tNumPages); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commits {
+		l.Append(c)
+	}
+	if keepOpen {
+		return l
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return nil
+}
+
+// A bare follower must answer ReadAt for every (version, page) with
+// exactly the reference content, skip duplicates, reject gaps, and
+// evict past its undo window.
+func TestFollowerVersionedReads(t *testing.T) {
+	const n = 60
+	commits := mkCommits(n)
+	f := newFollower(0, tPageSize, tNumPages, -1)
+	for _, c := range commits {
+		applied, err := f.apply(c)
+		if err != nil || !applied {
+			t.Fatalf("apply v%d: applied=%v err=%v", c.Version, applied, err)
+		}
+	}
+	if dup, err := f.apply(commits[10]); dup || err != nil {
+		t.Fatalf("duplicate apply: applied=%v err=%v", dup, err)
+	}
+	if _, err := f.apply(commitlog.Commit{Version: n + 5}); err == nil {
+		t.Fatal("gap apply must error")
+	}
+	if f.Version() != n {
+		t.Fatalf("version %d after gap/dup, want %d", f.Version(), n)
+	}
+	for v := int64(0); v <= n; v++ {
+		want := refPages(commits, v)
+		for pg := 0; pg < tNumPages; pg++ {
+			got, err := f.ReadAt(v, pg)
+			if err != nil {
+				t.Fatalf("ReadAt(%d,%d): %v", v, pg, err)
+			}
+			if string(got) != string(want[pg]) {
+				t.Fatalf("ReadAt(%d,%d) differs from reference", v, pg)
+			}
+		}
+	}
+	if _, err := f.ReadAt(n+1, 0); !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("future read: %v", err)
+	}
+
+	// A windowed follower evicts old versions but stays exact inside the
+	// window.
+	w := newFollower(1, tPageSize, tNumPages, 8)
+	for _, c := range commits {
+		if _, err := w.apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Floor() != n-8 {
+		t.Fatalf("windowed floor %d, want %d", w.Floor(), n-8)
+	}
+	if _, err := w.ReadAt(n-9, 0); !errors.Is(err, ErrEvictedVersion) {
+		t.Fatalf("evicted read: %v", err)
+	}
+	for v := int64(n - 8); v <= n; v++ {
+		want := refPages(commits, v)
+		for pg := 0; pg < tNumPages; pg++ {
+			got, err := w.ReadAt(v, pg)
+			if err != nil {
+				t.Fatalf("windowed ReadAt(%d,%d): %v", v, pg, err)
+			}
+			if string(got) != string(want[pg]) {
+				t.Fatalf("windowed ReadAt(%d,%d) differs", v, pg)
+			}
+		}
+	}
+}
+
+// A live fleet must converge to the writer's exact state and serve any
+// sampled version byte-identically to an independent replay (the
+// archive backstopping versions the serving followers evicted).
+func TestFleetLiveConverges(t *testing.T) {
+	const n = 300
+	dir := t.TempDir()
+	commits := mkCommits(n)
+	l := writeLog(t, dir, nil, commitlog.Options{SegmentBytes: 4096, SnapshotEvery: 64}, true)
+	fl := New(dir, l, Options{Followers: 2, Archive: true, HistoryVersions: 32, Seed: 7})
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	for _, c := range commits {
+		l.Append(c)
+	}
+	if err := fl.WaitCaughtUp(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := refChecksum(refPages(commits, n))
+	for _, f := range fl.Followers() {
+		if got := f.Checksum(); got != wantSum {
+			t.Fatalf("follower %d checksum %016x, want %016x", f.ID(), got, wantSum)
+		}
+	}
+	for _, v := range []int64{0, 1, n / 4, n / 2, n - 1, n} {
+		want := refPages(commits, v)
+		for pg := 0; pg < tNumPages; pg++ {
+			got, err := fl.ReadAt(v, pg)
+			if err != nil {
+				t.Fatalf("ReadAt(%d,%d): %v", v, pg, err)
+			}
+			if string(got) != string(want[pg]) {
+				t.Fatalf("ReadAt(%d,%d) differs from reference", v, pg)
+			}
+		}
+	}
+	b, v, err := fl.ReadLatest(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != n || string(b) != string(refPages(commits, n)[3]) {
+		t.Fatalf("ReadLatest page 3: version %d", v)
+	}
+	st := fl.Stats()
+	if st.ReadsServed == 0 || st.ReadsRejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Old versions outlive the serving followers' undo window only via
+	// the archive, so some reads above must have redirected.
+	if st.ReadsRedirected == 0 {
+		t.Fatalf("no read redirected to the archive: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	if got := fl.Frontier(); got != n {
+		t.Fatalf("frontier %d after close, want %d", got, n)
+	}
+}
+
+// The determinism gate in miniature: under every follower chaos profile
+// and several seeds, a chaos-torn fleet must answer every sampled
+// ReadAt byte-identically to the independent reference replay, and
+// kill/tear profiles must actually exercise restarts.
+func TestFleetChaosDeterminism(t *testing.T) {
+	const n = 400
+	commits := mkCommits(n)
+	samples := []int64{1, 37, n / 3, n / 2, n - 1, n}
+	for _, profile := range []string{"follower-kill", "follower-stall", "follower-tear"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			dir := t.TempDir()
+			l := writeLog(t, dir, nil, commitlog.Options{SegmentBytes: 4096, SnapshotEvery: 32}, true)
+			in, err := chaos.New(profile, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := New(dir, l, Options{
+				Followers: 2, Archive: true, HistoryVersions: 64,
+				Seed: seed, Chaos: in, SnapshotOnRestart: true,
+			})
+			if err := fl.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// Let the subscriptions attach before the bulk of the run so
+			// the commits flow through the live apply path (and its chaos
+			// hooks) rather than being absorbed by the bootstrap snapshot.
+			l.Append(commits[0])
+			if err := fl.WaitCaughtUp(1, 10*time.Second); err != nil {
+				t.Fatalf("%s:%d: %v", profile, seed, err)
+			}
+			for _, c := range commits[1:] {
+				l.Append(c)
+			}
+			if err := fl.WaitCaughtUp(n, 20*time.Second); err != nil {
+				t.Fatalf("%s:%d: %v", profile, seed, err)
+			}
+			wantSum := refChecksum(refPages(commits, n))
+			for _, f := range fl.Followers() {
+				if got := f.Checksum(); got != wantSum {
+					t.Fatalf("%s:%d follower %d checksum %016x, want %016x", profile, seed, f.ID(), got, wantSum)
+				}
+			}
+			for _, v := range samples {
+				want := refPages(commits, v)
+				for pg := 0; pg < tNumPages; pg++ {
+					got, err := fl.ReadAt(v, pg)
+					if err != nil {
+						t.Fatalf("%s:%d ReadAt(%d,%d): %v", profile, seed, v, pg, err)
+					}
+					if string(got) != string(want[pg]) {
+						t.Fatalf("%s:%d ReadAt(%d,%d) differs from reference", profile, seed, v, pg)
+					}
+				}
+			}
+			st := fl.Stats()
+			if profile != "follower-stall" && st.Restarts == 0 {
+				t.Fatalf("%s:%d injected no restarts (stats %+v, chaos %+v)", profile, seed, st, in.Stats())
+			}
+			if st.Restarts > 0 && st.Catchups == 0 {
+				t.Fatalf("%s:%d restarted without a measured catch-up: %+v", profile, seed, st)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			fl.Close()
+		}
+	}
+}
+
+// Directory mode must tail a log being written by another process
+// (simulated here by a writer the fleet is not attached to) and finish
+// at the end trailer with the exact final state.
+func TestFleetDirModeTailsToEnd(t *testing.T) {
+	const n = 150
+	dir := t.TempDir()
+	commits := mkCommits(n)
+	l := writeLog(t, dir, nil, commitlog.Options{SegmentBytes: 2048, SnapshotEvery: 40}, true)
+	l.Sync() // make the meta frame durable so the tailing fleet can read geometry
+	fl := New(dir, nil, Options{Followers: 1, Archive: true, PollInterval: time.Millisecond, Seed: 3})
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	for i, c := range commits {
+		l.Append(c)
+		if i == n/2 {
+			l.Sync() // make a mid-run prefix durable so tailing overlaps writing
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.WaitCaughtUp(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := true
+		for _, s := range fl.states {
+			if !s.finished.Load() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("feeds did not finish at the end trailer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wantSum := refChecksum(refPages(commits, n))
+	for _, f := range fl.Followers() {
+		if got := f.Checksum(); got != wantSum {
+			t.Fatalf("follower %d checksum %016x, want %016x", f.ID(), got, wantSum)
+		}
+	}
+	if got := fl.Frontier(); got != n {
+		t.Fatalf("frontier %d, want %d", got, n)
+	}
+}
+
+// Bounded staleness must degrade to rejection, never to a silent stale
+// answer: with the frontier far ahead every serving follower drains
+// (latest reads rejected, versioned reads still served), and catching
+// back up re-admits them.
+func TestFleetDrainAndReadmit(t *testing.T) {
+	const half, n = 100, 200
+	dir := t.TempDir()
+	commits := mkCommits(n)
+	l := writeLog(t, dir, nil, commitlog.Options{SegmentBytes: 4096, SnapshotEvery: 50}, true)
+	fl := New(dir, l, Options{Followers: 2, MaxLag: 20, Seed: 11})
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	for _, c := range commits[:half] {
+		l.Append(c)
+	}
+	if err := fl.WaitCaughtUp(half, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The writer commits far past the followers (simulated by raising
+	// the frontier before the stream delivers): every follower drains.
+	fl.raiseFrontier(half + 100)
+	for _, s := range fl.states {
+		fl.updateAdmission(s)
+		if s.admitted.Load() {
+			t.Fatalf("follower %d admitted at lag %d > MaxLag", s.f.ID(), half+100-s.f.Version())
+		}
+	}
+	if _, _, err := fl.ReadLatest(0); !errors.Is(err, ErrNoFollower) {
+		t.Fatalf("drained fleet served a latest read: %v", err)
+	}
+	rejected := fl.Stats().ReadsRejected
+	if rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// Versioned reads still work from drained followers (counted as
+	// redirected).
+	if _, err := fl.ReadAt(half, 2); err != nil {
+		t.Fatalf("drained follower refused a versioned read: %v", err)
+	}
+	if fl.Stats().ReadsRedirected == 0 {
+		t.Fatal("drained versioned read not counted as redirected")
+	}
+	// Catch-up past the bound re-admits.
+	for _, c := range commits[half:] {
+		l.Append(c)
+	}
+	if err := fl.WaitCaughtUp(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fl.Stats().Admitted != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers not re-admitted: %+v", fl.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := fl.ReadLatest(0); err != nil {
+		t.Fatalf("re-admitted fleet rejected a latest read: %v", err)
+	}
+}
+
+// Backoff delays must be deterministic per (seed, follower), jittered,
+// and capped.
+func TestBackoffDeterministicCapped(t *testing.T) {
+	fl := New("/nonexistent", nil, Options{Seed: 5, RetryBase: time.Millisecond, RetryCap: 16 * time.Millisecond})
+	a, b := fl.backoffFor(2), fl.backoffFor(2)
+	other := fl.backoffFor(3)
+	differs := false
+	for i := 0; i < 20; i++ {
+		da, db := a.next(i), b.next(i)
+		if da != db {
+			t.Fatalf("attempt %d: %v != %v across replays", i, da, db)
+		}
+		if da > 16*time.Millisecond+8*time.Millisecond {
+			t.Fatalf("attempt %d: %v exceeds cap+jitter", i, da)
+		}
+		if da != other.next(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("followers 2 and 3 drew identical backoff sequences")
+	}
+}
+
+// An obs registry attached to the fleet must expose the replica metric
+// family.
+func TestFleetMetricsRegistered(t *testing.T) {
+	const n = 50
+	dir := t.TempDir()
+	commits := mkCommits(n)
+	l := writeLog(t, dir, nil, commitlog.Options{}, true)
+	reg := obs.NewRegistry()
+	fl := New(dir, l, Options{Followers: 1, Archive: true, Registry: reg, Seed: 1})
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	for _, c := range commits {
+		l.Append(c)
+	}
+	if err := fl.WaitCaughtUp(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.ReadAt(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"replica_lag": false, "replica_restarts_total": false,
+		"replica_reads_served": false, "replica_reads_redirected": false,
+		"replica_reads_rejected": false, "replica_catchup_ns": false,
+		"replica_admitted": false, "replica_lag_hist": false,
+		"replica_catchup_ns_hist": false,
+	}
+	for _, s := range reg.Snapshot() {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("metric %s not registered", name)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Replica-fleet micro-benchmarks: the versioned read path
+# (BenchmarkReplicaReads — ReadAt against an admitted follower, with the
+# fleet's reads/s reported alongside) and crash recovery
+# (BenchmarkRestartCatchup — a follower rebuilt from the newest retained
+# snapshot plus the log tail, ns per restart-to-caught-up cycle). Emits
+# BENCH_replica.json in the repo root — machine-readable ns/op plus the
+# read throughput and restart latency, so regressions in the follower
+# read and recovery paths are diffable across commits. Run via
+# `make bench-replica` (smoke iterations via BENCHTIME, as in
+# bench_sched.sh).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2000x}"
+out="${1:-BENCH_replica.json}"
+
+raw=$(go test -run=NONE -bench 'BenchmarkReplicaReads|BenchmarkRestartCatchup' \
+    -benchtime "$benchtime" ./internal/replica)
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    names[n] = name; iters[n] = $2; ns[n] = $3
+    # Optional per-benchmark metrics emitted by ReportMetric:
+    # "NNN reads/s", "NNN ns/restart".
+    rps[n] = nsr[n] = ""
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "reads/s") rps[n] = $i
+        if ($(i+1) == "ns/restart") nsr[n] = $i
+    }
+    n++
+}
+END {
+    if (n == 0) { print "bench_replica: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i]
+        if (rps[i] != "") printf ", \"reads_per_s\": %s", rps[i]
+        if (nsr[i] != "") printf ", \"ns_per_restart\": %s", nsr[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' > "$out"
+
+echo "bench_replica: wrote $out"
+cat "$out"

@@ -13,8 +13,10 @@ benches="water_nsquared canneal histogram kmeans"
 seeds="1 2 3 4 5"
 
 detrun_bin=$(mktemp -t detrun.XXXXXX)
-trap 'rm -f "$detrun_bin"' EXIT
+conseq_serve_bin=$(mktemp -t conseqserve.XXXXXX)
+trap 'rm -f "$detrun_bin" "$conseq_serve_bin"' EXIT
 go build -o "$detrun_bin" ./cmd/detrun
+go build -o "$conseq_serve_bin" ./cmd/conseq-serve
 
 # All built-in profiles, from the chaos registry itself so the sweep can
 # never silently skip a newly added profile.
@@ -25,17 +27,38 @@ for bench in $benches; do
     out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42)
     base_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
     base_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+    serve=$("$conseq_serve_bin" -bench "$bench" -threads 8 -scale 1 -seed 42)
+    base_digest=$(printf '%s\n' "$serve" | awk '/^sweep digest/{print $3}')
     for profile in $profiles; do
         for seed in $seeds; do
-            out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -chaos "$profile:$seed")
-            got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
-            got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
-            if [ "$got_sum" != "$base_sum" ] || [ "$got_trace" != "$base_trace" ]; then
-                echo "chaos sweep: $bench under $profile:$seed diverged:" >&2
-                echo "  checksum $got_sum (want $base_sum)" >&2
-                echo "  trace    $got_trace (want $base_trace)" >&2
-                exit 1
-            fi
+            case $profile in
+            follower-*)
+                # Follower faults only have a target inside a replica
+                # fleet: serve the run through one and pin the versioned-
+                # read sweep digest instead of the sync trace
+                # (docs/replication.md).
+                out=$("$conseq_serve_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -chaos "$profile:$seed")
+                got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+                got_digest=$(printf '%s\n' "$out" | awk '/^sweep digest/{print $3}')
+                if [ "$got_sum" != "$base_sum" ] || [ "$got_digest" != "$base_digest" ]; then
+                    echo "chaos sweep: $bench fleet under $profile:$seed diverged:" >&2
+                    echo "  checksum     $got_sum (want $base_sum)" >&2
+                    echo "  sweep digest $got_digest (want $base_digest)" >&2
+                    exit 1
+                fi
+                ;;
+            *)
+                out=$("$detrun_bin" -bench "$bench" -threads 8 -scale 1 -seed 42 -chaos "$profile:$seed")
+                got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+                got_trace=$(printf '%s\n' "$out" | awk '/^trace/{print $NF}')
+                if [ "$got_sum" != "$base_sum" ] || [ "$got_trace" != "$base_trace" ]; then
+                    echo "chaos sweep: $bench under $profile:$seed diverged:" >&2
+                    echo "  checksum $got_sum (want $base_sum)" >&2
+                    echo "  trace    $got_trace (want $base_trace)" >&2
+                    exit 1
+                fi
+                ;;
+            esac
             total=$((total + 1))
         done
     done

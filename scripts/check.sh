@@ -16,8 +16,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== lintdoc (godoc coverage of det, clock, trace, journal, commitlog, predict, harness)"
-go run ./scripts/lintdoc ./internal/det ./internal/clock ./internal/trace ./internal/journal ./internal/commitlog ./internal/predict ./internal/harness
+echo "== lintdoc (godoc coverage of det, clock, trace, journal, commitlog, replica, predict, harness)"
+go run ./scripts/lintdoc ./internal/det ./internal/clock ./internal/trace ./internal/journal ./internal/commitlog ./internal/replica ./internal/predict ./internal/harness
 
 echo "== go build ./..."
 go build ./...
@@ -25,8 +25,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (obs + det + chaos)"
-go test -race ./internal/obs/... ./internal/det ./internal/chaos/...
+echo "== go test -race (obs + det + chaos + replica)"
+go test -race ./internal/obs/... ./internal/det ./internal/chaos/... ./internal/replica
 
 echo "== conseq-analyze smoke (golden trace)"
 go run ./cmd/conseq-analyze -input internal/obs/testdata/golden_trace.json >/dev/null
@@ -41,7 +41,7 @@ conseq_diff_bin=$(mktemp -t conseqdiff.XXXXXX)
 conseq_replay_bin=$(mktemp -t conseqreplay.XXXXXX)
 journal_dir=$(mktemp -d -t journals.XXXXXX)
 clog_dir=$(mktemp -d -t commitlogs.XXXXXX)
-trap 'rm -f "$detrun_bin" "$conseq_diff_bin" "$conseq_replay_bin"; rm -rf "$journal_dir" "$clog_dir"' EXIT
+trap 'rm -f "$detrun_bin" "$conseq_diff_bin" "$conseq_replay_bin" "${conseq_serve_bin:-}"; rm -rf "$journal_dir" "$clog_dir"' EXIT
 go build -o "$detrun_bin" ./cmd/detrun
 go build -o "$conseq_diff_bin" ./cmd/conseq-diff
 go build -o "$conseq_replay_bin" ./cmd/conseq-replay
@@ -284,6 +284,40 @@ for spec in $goldens; do
         exit 1
     fi
     echo "   $bench ok (goldens unmoved, logs byte-identical, verify + resume + logstall)"
+done
+
+echo "== replica gate (follower fleet byte-identical under chaos)"
+# The replication determinism gate (docs/replication.md): conseq-serve
+# runs a golden benchmark with a live replica fleet, verifies every
+# follower's final checksum against the runtime's, then samples a seeded
+# sweep of versioned reads (ReadAt across the whole retained history)
+# into one digest. Any follower kill/tear schedule — and any writer
+# backpressure schedule — must leave both the final checksum AND the
+# sweep digest byte-identical to the undisturbed run: crash recovery,
+# backoff and drain/re-admission may move timing, never state, and
+# never which bytes any version's read returns.
+conseq_serve_bin=$(mktemp -t conseqserve.XXXXXX)
+go build -o "$conseq_serve_bin" ./cmd/conseq-serve
+base=$("$conseq_serve_bin" -bench kmeans -threads 8 -scale 1 -seed 42)
+base_sum=$(printf '%s\n' "$base" | awk '/^checksum/{print $2}')
+base_digest=$(printf '%s\n' "$base" | awk '/^sweep digest/{print $3}')
+if [ "$base_sum" != "1f8b09e15b1b689c" ]; then
+    echo "replica gate: kmeans baseline checksum $base_sum, want golden 1f8b09e15b1b689c" >&2
+    exit 1
+fi
+for prof in follower-kill follower-tear logstall; do
+    for cseed in 1 2 3; do
+        out=$("$conseq_serve_bin" -bench kmeans -threads 8 -scale 1 -seed 42 -chaos "$prof:$cseed")
+        got_sum=$(printf '%s\n' "$out" | awk '/^checksum/{print $2}')
+        got_digest=$(printf '%s\n' "$out" | awk '/^sweep digest/{print $3}')
+        if [ "$got_sum" != "$base_sum" ] || [ "$got_digest" != "$base_digest" ]; then
+            echo "replica gate: kmeans under $prof:$cseed diverged from the undisturbed fleet:" >&2
+            echo "  checksum     $got_sum (want $base_sum)" >&2
+            echo "  sweep digest $got_digest (want $base_digest)" >&2
+            exit 1
+        fi
+    done
+    echo "   kmeans ok under $prof (seeds 1-3: checksum + sweep digest unmoved)"
 done
 
 echo "== scheduler bench (BENCH_sched.json vs committed baseline)"
